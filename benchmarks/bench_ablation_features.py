@@ -1,0 +1,30 @@
+"""Ablation — each feature's contribution at the operating point."""
+
+from repro.experiments import ablation_features
+
+
+def test_feature_ablation(benchmark, publish):
+    result = benchmark.pedantic(
+        lambda: ablation_features.run(seed=2, duration=60.0,
+                                      runs_per_scenario=2, repetitions=2),
+        rounds=1, iterations=1,
+    )
+    publish("ablation_features", result.render())
+    # NOTE: each configuration here is a *single* greedy ID3 fit (unlike
+    # the bundled tree, which is validation-selected), so absolute numbers
+    # carry fit-to-fit noise; the assertions are relative and structural.
+    reference = result.row("(none)")
+    # The full feature set never false-alarms at the operating point.
+    assert reference.worst_far <= 0.25
+    # Dropping OWIO — the paper's "most significant feature" — visibly
+    # degrades the detector.
+    no_owio = result.row("owio")
+    assert (no_owio.worst_far + no_owio.worst_frr
+            > reference.worst_far + reference.worst_frr)
+    # At least one feature is load-bearing overall.
+    degradations = [
+        row.worst_far + row.worst_frr
+        - (reference.worst_far + reference.worst_frr)
+        for row in result.rows[1:]
+    ]
+    assert max(degradations) > 0.0

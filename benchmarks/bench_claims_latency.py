@@ -1,0 +1,18 @@
+"""§V headline claims — detection <10 s, recovery <1 s, 0 % data loss."""
+
+from repro.experiments import claims
+
+
+def test_headline_claims(benchmark, publish, pretrained_tree):
+    result = benchmark.pedantic(
+        lambda: claims.run(seed=7, repetitions=2, duration=60.0,
+                           tree=pretrained_tree),
+        rounds=1, iterations=1,
+    )
+    publish("claims_headline", result.render())
+    assert result.missed_detections == 0
+    latencies = result.detection_latencies
+    assert sum(latencies) / len(latencies) < 10.0
+    assert result.recovery_model_seconds < 1.0
+    assert result.recovery_wall_seconds < 1.0
+    assert result.blocks_lost == 0

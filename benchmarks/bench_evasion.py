@@ -1,0 +1,24 @@
+"""Extension study — throttled-attacker evasion sweep."""
+
+from repro.experiments import evasion
+
+
+def test_evasion_sweep(benchmark, publish, pretrained_tree):
+    result = benchmark.pedantic(
+        lambda: evasion.run(rates=(5, 25, 100, 400, 1600), seed=2,
+                            duration=60.0, repetitions=2,
+                            tree=pretrained_tree),
+        rounds=1, iterations=1,
+    )
+    publish("evasion_sweep", result.render())
+    by_rate = {row.blocks_per_second: row for row in result.rows}
+    # Fast attacks are always caught, quickly.
+    assert by_rate[1600].detection_rate == 1.0
+    assert by_rate[1600].mean_latency <= 10.0
+    assert by_rate[400].detection_rate == 1.0
+    # A sufficiently slow attacker can slip under the rate features —
+    # the known limitation — but its damage rate collapses with it.
+    slowest = by_rate[5]
+    fastest = by_rate[1600]
+    assert slowest.damage_blocks_per_minute < \
+        fastest.damage_blocks_per_minute / 20.0

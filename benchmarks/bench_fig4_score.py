@@ -1,0 +1,17 @@
+"""Fig. 4 — sliding-window score behaviour around the attack onset."""
+
+from repro.experiments import fig4
+
+
+def test_fig4_score_timeline(benchmark, publish, pretrained_tree):
+    result = benchmark.pedantic(
+        lambda: fig4.run(seed=2, duration=40.0, tree=pretrained_tree),
+        rounds=1, iterations=1,
+    )
+    publish("fig4_score", result.render())
+    assert result.alarm_slice is not None
+    # Alarm within one window of the onset.
+    assert result.alarm_slice - result.onset <= 10.0
+    scores = dict(result.scores)
+    assert all(s == 0 for i, s in result.scores if i < result.onset - 1)
+    assert max(scores.values()) >= result.threshold

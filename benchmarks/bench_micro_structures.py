@@ -1,0 +1,72 @@
+"""Microbenchmarks of the firmware-critical structures.
+
+These are real wall-clock measurements of this implementation's hot paths
+— the operations whose per-op firmware cost Fig. 8 models analytically:
+counting-table updates, recovery-queue pushes, ID3 inference, and the FTL
+write path.
+"""
+
+import itertools
+
+from repro.core.counting_table import CountingTable
+from repro.core.pretrained import default_tree
+from repro.ftl.insider import InsiderFTL
+from repro.ftl.recovery_queue import BackupEntry, RecoveryQueue
+from repro.nand.array import NandArray
+from repro.nand.geometry import NandGeometry
+
+
+def test_counting_table_record_read(benchmark):
+    table = CountingTable()
+    counter = itertools.count()
+
+    def record():
+        i = next(counter)
+        table.record_read(i % 20_000, i // 5_000)
+        if i % 5_000 == 4_999:
+            table.expire(i // 5_000 - 10)
+
+    benchmark(record)
+
+
+def test_counting_table_record_write_hit(benchmark):
+    table = CountingTable()
+    for lba in range(10_000):
+        table.record_read(lba, 0)
+    counter = itertools.count()
+
+    def record():
+        table.record_write(next(counter) % 10_000, 0)
+
+    benchmark(record)
+
+
+def test_recovery_queue_push(benchmark):
+    queue = RecoveryQueue(retention=10.0, capacity=100_000)
+    counter = itertools.count()
+
+    def push():
+        i = next(counter)
+        queue.push(BackupEntry(lba=i % 1000, old_ppa=i, new_ppa=i + 1,
+                               timestamp=i * 1e-5))
+
+    benchmark(push)
+
+
+def test_id3_predict(benchmark):
+    tree = default_tree()
+    row = (500.0, 0.8, 4000.0, 12.0, 0.5, 1200.0)
+    benchmark(tree.predict_one, row)
+
+
+def test_insider_ftl_write_path(benchmark):
+    nand = NandArray(NandGeometry(channels=2, ways=2, blocks_per_chip=64,
+                                  pages_per_block=64))
+    ftl = InsiderFTL(nand, op_ratio=0.3)
+    counter = itertools.count()
+
+    def write():
+        i = next(counter)
+        ftl.write(i % ftl.num_lbas, i * 1e-5)
+
+    benchmark(write)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Explore the six features on any workload combination.
+
+Prints the per-slice feature vectors for a scenario of your choosing so
+you can *see* what the detector sees: how OWIO/OWST/PWIO/AVGWIO move when
+a sample activates, and how a benign workload differs.
+
+Run:  python examples/feature_explorer.py [ransomware] [app]
+e.g.  python examples/feature_explorer.py jaff videoencode
+      python examples/feature_explorer.py none datawiping
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.report import render_table
+from repro.core.features import FEATURE_NAMES
+from repro.core.pretrained import default_tree
+from repro.train.dataset import extract_feature_series
+from repro.workloads.scenario import Scenario
+
+
+def main() -> None:
+    sample = sys.argv[1] if len(sys.argv) > 1 else "wannacry"
+    app = sys.argv[2] if len(sys.argv) > 2 else "websurfing"
+    ransomware = None if sample.lower() == "none" else sample
+    background = None if app.lower() == "none" else app
+    scenario = Scenario(
+        "explorer", ransomware=ransomware, app=background, onset=10.0
+    )
+    run = scenario.build(seed=1234, duration=40.0)
+    tree = default_tree()
+    print(
+        f"scenario: ransomware={ransomware or '-'} app={background or '-'} "
+        f"onset={run.onset if run.onset is not None else '-'}"
+    )
+    rows = []
+    for slice_index, vector in extract_feature_series(run):
+        active = "*" if slice_index in run.active_slices else ""
+        verdict = tree.predict_one(vector.as_tuple())
+        rows.append(
+            (slice_index, active)
+            + tuple(f"{value:.2f}" for value in vector.as_tuple())
+            + ("RANSOM" if verdict else "",)
+        )
+    headers = ("slice", "act") + FEATURE_NAMES + ("verdict",)
+    print(render_table(headers, rows))
+
+
+if __name__ == "__main__":
+    main()

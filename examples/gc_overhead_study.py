@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Garbage-collection overhead study (the Fig. 9 scenario, interactive).
+
+Compares the conventional FTL against the SSD-Insider FTL across space
+utilisations, showing where delayed deletion starts costing extra page
+copies — near-free at moderate fill, ~tens of percent near-full — and how
+write amplification moves with it.
+
+Run:  python examples/gc_overhead_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.experiments import fig9
+from repro.nand.geometry import NandGeometry
+from repro.workloads.catalog import testing_scenarios
+
+
+def main() -> None:
+    geometry = NandGeometry(channels=2, ways=2, blocks_per_chip=96,
+                            pages_per_block=64)
+    # The three write-heaviest testing combinations dominate GC traffic.
+    heavy = [
+        s for s in testing_scenarios()
+        if s.name in (
+            "test-ransom-only",
+            "test-datawiping-globeimposter",
+            "test-p2pdown-wannacry",
+        )
+    ]
+    rows = []
+    for utilization in (0.5, 0.7, 0.8, 0.9):
+        result = fig9.run(
+            utilization=utilization,
+            duration=30.0,
+            geometry=geometry,
+            scenarios=heavy,
+        )
+        conventional = sum(r.conventional_copies for r in result.rows)
+        insider = sum(r.insider_copies for r in result.rows)
+        pinned = sum(r.pinned_copies for r in result.rows)
+        overhead = insider / conventional - 1.0 if conventional else 0.0
+        rows.append(
+            (f"{utilization:.0%}", conventional, insider, pinned,
+             f"{overhead:+.1%}")
+        )
+    print("GC page copies vs space utilisation (3 write-heavy traces):")
+    print(render_table(
+        ("utilisation", "conventional", "ssd-insider", "pinned", "overhead"),
+        rows,
+    ))
+    print("\nAs the paper reports: negligible extra copies at moderate fill,")
+    print("a modest surcharge (tens of percent) at 90% - the price of")
+    print("keeping every overwritten page recoverable for one window.")
+
+
+if __name__ == "__main__":
+    main()

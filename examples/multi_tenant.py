@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Multi-tenant defense: namespaces, blast radius, selective rollback.
+
+Two tenants share one physical SSD through NVMe-style namespaces.  Tenant
+A gets infected; tenant B keeps working.  The per-namespace detector locks
+only A, and the selective rollback rewinds only A's LBA range — B's
+writes made *during* the attack survive untouched.
+
+Run:  python examples/multi_tenant.py
+"""
+
+from __future__ import annotations
+
+from repro.nand.geometry import NandGeometry
+from repro.ssd import SSDConfig, SimulatedSSD
+from repro.ssd.namespaces import NamespaceManager
+from repro.workloads import LbaRegion, make_ransomware
+
+
+def main() -> None:
+    device = SimulatedSSD(
+        SSDConfig(
+            geometry=NandGeometry(channels=2, ways=4, blocks_per_chip=128,
+                                  pages_per_block=64),
+            detector_enabled=False,   # per-namespace detectors instead
+            queue_capacity=20_000,
+        )
+    )
+    tenants = NamespaceManager(device, count=2)
+    tenant_a, tenant_b = tenants[0], tenants[1]
+    print(f"two namespaces of {tenant_a.num_lbas} blocks each")
+
+    # Both tenants install their data.
+    for lba in range(8_000):
+        tenant_a.write(lba, b"A-doc-%d" % lba, now=device.clock.now + 0.0005)
+        tenant_b.write(lba, b"B-doc-%d" % lba, now=device.clock.now + 0.0005)
+    device.tick(30.0)
+    tenant_a.tick(30.0)
+    tenant_b.tick(30.0)
+
+    # Tenant A detonates ransomware; tenant B keeps saving files.
+    attack = make_ransomware("wannacry", LbaRegion(0, 8_000), start=30.0,
+                             duration=30.0, seed=7)
+    b_cursor = 0
+    for request in attack.requests():
+        for unit in request.split():
+            if unit.is_read:
+                tenant_a.read(unit.lba, now=unit.time)
+            else:
+                tenant_a.write(unit.lba, b"ciphertext", now=unit.time)
+        # B works concurrently: one write per attack request.
+        tenant_b.write(b_cursor % 8_000, b"B-fresh-%d" % b_cursor,
+                       now=device.clock.now)
+        b_cursor += 1
+        if tenant_a.alarm_raised:
+            break
+
+    print(f"tenant A alarm: {tenant_a.alarm_raised}   "
+          f"tenant B alarm: {tenant_b.alarm_raised}")
+    print(f"tenant B wrote {b_cursor} blocks during the attack, "
+          f"dropped: {tenant_b.stats.dropped_writes}")
+
+    report = tenant_a.recover()
+    print(f"selective rollback of namespace A: "
+          f"{report.mapping_updates} mapping updates")
+
+    a_ok = tenant_a.read(0)[:7] == b"A-doc-0"
+    b_fresh = tenant_b.read(0)[:8] == b"B-fresh-"
+    print(f"tenant A data restored: {a_ok}")
+    print(f"tenant B's during-attack writes survived: {b_fresh}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail; this shim lets ``pip install -e .`` fall back to
+``setup.py develop``.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "SSD-Insider (ICDCS 2018) reproduction: in-SSD ransomware "
+        "detection and instant recovery"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"], "repro.core": ["pretrained_tree.json"]},
+    include_package_data=True,
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

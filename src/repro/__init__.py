@@ -1,0 +1,59 @@
+"""SSD-Insider reproduction (ICDCS 2018).
+
+A complete Python reimplementation of *SSD-Insider: Internal Defense of
+Solid-State Drive against Ransomware with Perfect Data Recovery* — the
+header-only behavioural detector (six overwrite features + ID3 tree +
+sliding score window) and the delayed-deletion recovery FTL — together with
+the NAND/FTL/SSD simulation substrate, workload models, filesystem, and the
+experiment harness that regenerates every table and figure of the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import SimulatedSSD, SSDConfig
+    from repro.workloads import make_ransomware, LbaRegion
+
+    ssd = SimulatedSSD(SSDConfig.small())
+    attack = make_ransomware("wannacry", LbaRegion(0, ssd.num_lbas), seed=7)
+    for request in attack.requests():
+        ssd.submit(request)          # detector watches every header
+    if ssd.alarm_raised:
+        report = ssd.recover()       # mapping-table rollback, no data copies
+"""
+
+from repro.blockdev import IOMode, IORequest, Trace
+from repro.clock import SimClock
+from repro.core import (
+    DecisionTree,
+    DetectorConfig,
+    FeatureVector,
+    RansomwareDetector,
+    default_tree,
+)
+from repro.errors import ReproError
+from repro.ftl import ConventionalFTL, InsiderFTL
+from repro.nand import NandArray, NandGeometry, NandLatencies
+from repro.ssd import SSDConfig, SimulatedSSD
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConventionalFTL",
+    "DecisionTree",
+    "DetectorConfig",
+    "FeatureVector",
+    "IOMode",
+    "IORequest",
+    "InsiderFTL",
+    "NandArray",
+    "NandGeometry",
+    "NandLatencies",
+    "RansomwareDetector",
+    "ReproError",
+    "SSDConfig",
+    "SimClock",
+    "SimulatedSSD",
+    "Trace",
+    "default_tree",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Analysis utilities behind the figure reproductions.
+
+* :mod:`repro.analysis.correlation` — per-slice feature value vs
+  ransomware active time (the scatter panels of Figs 1a and 2a/c/e/g/h);
+* :mod:`repro.analysis.cumulative` — cumulative feature series per
+  workload (the cumulative panels of Figs 1b and 2b/d/f);
+* :mod:`repro.analysis.report` — fixed-width text tables every experiment
+  prints its rows with.
+"""
+
+from repro.analysis.correlation import CorrelationResult, feature_activity_correlation
+from repro.analysis.cumulative import cumulative_feature_series
+from repro.analysis.report import render_table
+
+__all__ = [
+    "CorrelationResult",
+    "cumulative_feature_series",
+    "feature_activity_correlation",
+    "render_table",
+]

@@ -1,0 +1,67 @@
+"""Fixed-width table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render rows as an aligned text table with a header rule."""
+    materialized: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for column, value in enumerate(row):
+            if column < len(widths):
+                widths[column] = max(widths[column], len(value))
+            else:
+                widths.append(len(value))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialized:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+#: Eight block-height characters for terminal sparklines.
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def render_sparkline(values, width: int = 60) -> str:
+    """Render a numeric series as a one-line terminal sparkline.
+
+    Values are bucketed down to ``width`` points (mean per bucket) and
+    mapped onto eight block heights; an empty or all-zero series renders
+    as a flat baseline.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) > width:
+        step = len(values) / width
+        bucketed = []
+        for index in range(width):
+            low = int(index * step)
+            high = max(low + 1, int((index + 1) * step))
+            chunk = values[low:high]
+            bucketed.append(sum(chunk) / len(chunk))
+        values = bucketed
+    top = max(values)
+    if top <= 0:
+        return _SPARK_CHARS[0] * len(values)
+    return "".join(
+        _SPARK_CHARS[min(7, int(v / top * 7.999))] for v in values
+    )
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

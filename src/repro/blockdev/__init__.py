@@ -1,0 +1,18 @@
+"""Block-device layer: I/O request model, traces, and stream mixing.
+
+Everything SSD-Insider sees is an :class:`~repro.blockdev.request.IORequest`
+header — the time, starting LBA, read/write mode, and length of a request —
+exactly the limited view the paper's firmware has (no payload inspection).
+"""
+
+from repro.blockdev.mixer import merge_streams
+from repro.blockdev.request import IOMode, IORequest
+from repro.blockdev.trace import Trace, TraceStats
+
+__all__ = [
+    "IOMode",
+    "IORequest",
+    "Trace",
+    "TraceStats",
+    "merge_streams",
+]

@@ -1,0 +1,44 @@
+"""Time-ordered merging of concurrent request streams.
+
+A scenario runs a ransomware and a background application concurrently; each
+produces its own time-stamped stream, and the block layer sees the merge.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, List
+
+from repro.blockdev.request import IORequest
+
+
+def merge_streams(streams: Iterable[Iterable[IORequest]]) -> Iterator[IORequest]:
+    """Merge independently time-ordered request streams into one.
+
+    Each input stream must be non-decreasing in time; the output preserves a
+    global time order.  Ties are broken by stream index so merging is
+    deterministic.
+    """
+    iterators = [iter(stream) for stream in streams]
+    heap: List = []
+    for index, iterator in enumerate(iterators):
+        first = next(iterator, None)
+        if first is not None:
+            heapq.heappush(heap, (first.time, index, _Counter.next(), first))
+    while heap:
+        _, index, _, request = heapq.heappop(heap)
+        yield request
+        following = next(iterators[index], None)
+        if following is not None:
+            heapq.heappush(heap, (following.time, index, _Counter.next(), following))
+
+
+class _Counter:
+    """Monotone tie-breaker so heap entries never compare IORequest objects."""
+
+    _value = 0
+
+    @classmethod
+    def next(cls) -> int:
+        cls._value += 1
+        return cls._value

@@ -1,0 +1,39 @@
+"""Simulated clock.
+
+All components share one :class:`SimClock`; time only moves when a workload
+or the test harness advances it.  Using simulated time keeps every experiment
+deterministic and lets a "10-second" detection window run in microseconds of
+wall-clock time.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically non-decreasing simulated clock measured in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"start time must be non-negative, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` seconds and return the new time."""
+        if delta < 0:
+            raise ValueError(f"cannot move time backwards (delta={delta})")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to ``timestamp`` (no-op if already past it)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

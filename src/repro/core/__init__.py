@@ -1,0 +1,44 @@
+"""SSD-Insider's detection pipeline (the paper's primary contribution).
+
+The pipeline, end to end:
+
+1. every block-I/O request header updates the :mod:`counting table
+   <repro.core.counting_table>`, which tracks run-lengths of reads and the
+   overwrites that follow them (Fig. 3);
+2. at each 1-second time-slice boundary the six features — OWIO, OWST,
+   PWIO, AVGWIO, OWSLOPE, IO — are computed over the sliding 10-slice
+   window (:mod:`repro.core.features`);
+3. an :mod:`ID3 decision tree <repro.core.id3>` classifies the slice as
+   ransomware-active or not;
+4. the per-slice verdicts are summed over the window into a 0–10 score
+   (:mod:`repro.core.score`); crossing the threshold (3) raises the alarm
+   (Algorithm 1, Fig. 4).
+"""
+
+from repro.core.config import DetectorConfig
+from repro.core.counting_table import CountingTable, TableEntry
+from repro.core.detector import DetectionEvent, RansomwareDetector
+from repro.core.features import FEATURE_NAMES, FeatureVector
+from repro.core.id3 import DecisionTree, TreeNode
+from repro.core.memory import MemoryBudget, paper_memory_budget
+from repro.core.pretrained import default_tree
+from repro.core.score import ScoreTracker
+from repro.core.window import SliceStats, SlidingWindow
+
+__all__ = [
+    "CountingTable",
+    "DecisionTree",
+    "DetectionEvent",
+    "DetectorConfig",
+    "FEATURE_NAMES",
+    "FeatureVector",
+    "MemoryBudget",
+    "RansomwareDetector",
+    "ScoreTracker",
+    "SliceStats",
+    "SlidingWindow",
+    "TableEntry",
+    "TreeNode",
+    "default_tree",
+    "paper_memory_budget",
+]

@@ -1,0 +1,213 @@
+"""The counting table of Fig. 3: run-lengths of reads and the overwrites
+that follow them.
+
+An :class:`TableEntry` covers one run of consecutively-read LBAs.  ``RL`` is
+the run's read length; ``WL`` counts the overwrites that later hit the run.
+A write to an LBA counts as an *overwrite* only when the LBA is present in
+the table — i.e. it was read within the current detection window (the
+paper's footnote 1) — which is exactly the read-encrypt-overwrite signature
+of crypto ransomware.
+
+A hash index keyed by LBA gives O(1) access from a request to its entry
+(the paper's "hash table consisting of LBAs for keys").  The five update
+operations named in Fig. 3(b) — ``NewEntry``, ``UpdateEntryR``,
+``SplitEntry``, ``UpdateEntryW``, ``MergeEntry`` — map onto the code paths
+of :meth:`CountingTable.record_read` and :meth:`CountingTable.record_write`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+#: Per-structure unit sizes (bytes) from the paper's Table III.
+HASH_ENTRY_SIZE_BYTES = 42
+TABLE_ENTRY_SIZE_BYTES = 12
+
+#: Longest run a single entry may cover.  Firmware entries are fixed-size,
+#: and expiry granularity demands bounded runs: an unbounded run built by a
+#: long sequential scan would be kept alive in its entirety by any single
+#: read that touches it (the entry's Time field is per run), making blocks
+#: look "recently read" ~arbitrarily long after they were scanned.
+MAX_RUN_BLOCKS = 64
+
+
+@dataclass(eq=False)
+class TableEntry:
+    """One run of consecutively read LBAs and its overwrite count.
+
+    Attributes:
+        slice_index: Time slice of the last update (the Fig. 3 ``Time``).
+        lba: Starting LBA of the run.
+        rl: Read run length — the run covers ``[lba, lba + rl)``.
+        wl: Overwrite count accumulated by the run (repeat overwrites of
+            one block keep counting; only OWST de-duplicates).
+    """
+
+    slice_index: int
+    lba: int
+    rl: int = 1
+    wl: int = 0
+
+    @property
+    def end_lba(self) -> int:
+        """One past the last LBA covered."""
+        return self.lba + self.rl
+
+    def covers(self, lba: int) -> bool:
+        """True when ``lba`` lies inside the run."""
+        return self.lba <= lba < self.end_lba
+
+
+class CountingTable:
+    """Run-length table + LBA hash index (Fig. 3a)."""
+
+    def __init__(self) -> None:
+        self._index: Dict[int, TableEntry] = {}
+        self._entries: List[TableEntry] = []
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TableEntry]:
+        return iter(self._entries)
+
+    @property
+    def hash_entries(self) -> int:
+        """LBAs currently indexed (Table III "hash table" population)."""
+        return len(self._index)
+
+    def entry_for(self, lba: int) -> Optional[TableEntry]:
+        """The entry covering ``lba``, or None."""
+        return self._index.get(lba)
+
+    def mean_wl(self) -> float:
+        """Average WL over all live entries — the AVGWIO feature source."""
+        if not self._entries:
+            return 0.0
+        return sum(entry.wl for entry in self._entries) / len(self._entries)
+
+    def memory_bytes(self) -> int:
+        """DRAM footprint under the paper's Table III unit sizes."""
+        return (
+            len(self._index) * HASH_ENTRY_SIZE_BYTES
+            + len(self._entries) * TABLE_ENTRY_SIZE_BYTES
+        )
+
+    # -- updates --------------------------------------------------------
+
+    def record_read(self, lba: int, slice_index: int) -> TableEntry:
+        """Fold a unit-length read into the table.
+
+        Paths: refresh an entry that already covers the LBA (UpdateEntryR),
+        extend an adjacent run (UpdateEntryR + possible MergeEntry), or
+        start a fresh run (NewEntry).
+        """
+        entry = self._index.get(lba)
+        if entry is not None:
+            entry.slice_index = slice_index
+            return entry
+
+        left = self._index.get(lba - 1) if lba > 0 else None
+        if left is not None and left.end_lba == lba and left.rl < MAX_RUN_BLOCKS:
+            left.rl += 1
+            left.slice_index = slice_index
+            self._index[lba] = left
+            self._maybe_merge(left, slice_index)
+            return left
+
+        right = self._index.get(lba + 1)
+        if right is not None and right.lba == lba + 1 and right.rl < MAX_RUN_BLOCKS:
+            right.lba = lba
+            right.rl += 1
+            right.slice_index = slice_index
+            self._index[lba] = right
+            return right
+
+        entry = TableEntry(slice_index=slice_index, lba=lba)
+        self._entries.append(entry)
+        self._index[lba] = entry
+        return entry
+
+    def record_write(self, lba: int, slice_index: int) -> bool:
+        """Fold a unit-length write into the table.
+
+        Returns True when the write is an *overwrite* — the LBA was read
+        within the window.  Writes to untracked LBAs leave the table
+        unchanged (Algorithm 1 line 10 only counts blocks "already in the
+        table").
+        """
+        entry = self._index.get(lba)
+        if entry is None:
+            return False
+        if entry.wl == 0 and lba > entry.lba:
+            # The overwrite starts mid-run: split so the overwritten part
+            # heads its own entry and WL measures the contiguous overwrite
+            # run-length (SplitEntry).
+            entry = self._split(entry, lba)
+        entry.wl += 1
+        entry.slice_index = slice_index
+        return True
+
+    def _split(self, entry: TableEntry, at_lba: int) -> TableEntry:
+        """Split ``entry`` so a new entry begins at ``at_lba``."""
+        right = TableEntry(
+            slice_index=entry.slice_index,
+            lba=at_lba,
+            rl=entry.end_lba - at_lba,
+            wl=0,
+        )
+        entry.rl = at_lba - entry.lba
+        self._entries.append(right)
+        for lba in range(right.lba, right.end_lba):
+            self._index[lba] = right
+        return right
+
+    def _maybe_merge(self, entry: TableEntry, slice_index: int) -> None:
+        """Merge ``entry`` with the run starting at its end (MergeEntry).
+
+        Only overwrite-free runs merge; runs that already carry overwrite
+        counts stay separate so WL keeps measuring one contiguous episode.
+        """
+        neighbour = self._index.get(entry.end_lba)
+        if (
+            neighbour is None
+            or neighbour is entry
+            or neighbour.lba != entry.end_lba
+            or entry.wl != 0
+            or neighbour.wl != 0
+            or entry.rl + neighbour.rl > MAX_RUN_BLOCKS
+        ):
+            return
+        entry.rl += neighbour.rl
+        entry.slice_index = slice_index
+        for lba in range(neighbour.lba, neighbour.end_lba):
+            self._index[lba] = entry
+        self._remove_entry(neighbour, unindex=False)
+
+    # -- expiry --------------------------------------------------------
+
+    def expire(self, oldest_live_slice: int) -> int:
+        """Drop entries last touched before ``oldest_live_slice``.
+
+        Called when the window slides (Algorithm 1 line 6).  Returns the
+        number of entries dropped.
+        """
+        stale = [e for e in self._entries if e.slice_index < oldest_live_slice]
+        for entry in stale:
+            self._remove_entry(entry, unindex=True)
+        return len(stale)
+
+    def _remove_entry(self, entry: TableEntry, unindex: bool) -> None:
+        if unindex:
+            for lba in range(entry.lba, entry.end_lba):
+                if self._index.get(lba) is entry:
+                    del self._index[lba]
+        self._entries.remove(entry)
+
+    def clear(self) -> None:
+        """Drop everything (used when the detector resets after recovery)."""
+        self._index.clear()
+        self._entries.clear()

@@ -1,0 +1,146 @@
+"""The real-time detector: Algorithm 1 of the paper, end to end.
+
+Feed it every I/O request header; it maintains the counting table, closes a
+time slice whenever the timestamps cross a slice boundary, evaluates the
+six features, runs the ID3 tree, slides the score window, and raises the
+alarm once the score reaches the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.blockdev.request import IORequest
+from repro.core.config import DetectorConfig
+from repro.core.counting_table import CountingTable
+from repro.core.features import FeatureVector, compute_features
+from repro.core.id3 import DecisionTree
+from repro.core.score import ScoreTracker
+from repro.core.window import SliceStats, SlidingWindow
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """One closed slice's outcome: features, verdict, and window score."""
+
+    time: float
+    slice_index: int
+    features: FeatureVector
+    verdict: int
+    score: int
+    alarm: bool
+
+
+class RansomwareDetector:
+    """Header-only behavioural ransomware detector (Algorithm 1).
+
+    Args:
+        tree: A trained ID3 tree; defaults to the library's pretrained tree.
+        config: Slice/window/threshold parameters.
+        on_alarm: Optional callback invoked once, with the triggering
+            :class:`DetectionEvent`, when the score first reaches the
+            threshold.
+        keep_history: Record every :class:`DetectionEvent` in
+            :attr:`events` (on by default; disable for long streams).
+    """
+
+    def __init__(
+        self,
+        tree: Optional[DecisionTree] = None,
+        config: Optional[DetectorConfig] = None,
+        on_alarm: Optional[Callable[[DetectionEvent], None]] = None,
+        keep_history: bool = True,
+    ) -> None:
+        self.config = config or DetectorConfig()
+        if tree is None:
+            from repro.core.pretrained import default_tree
+
+            tree = default_tree()
+        self.tree = tree
+        self.on_alarm = on_alarm
+        self.keep_history = keep_history
+        self.table = CountingTable()
+        self.window = SlidingWindow(self.config.window_slices)
+        self.scores = ScoreTracker(self.config.window_slices)
+        self.events: List[DetectionEvent] = []
+        self.alarm_event: Optional[DetectionEvent] = None
+        self._current = SliceStats(index=0)
+
+    # -- streaming interface ----------------------------------------------
+
+    @property
+    def alarm_raised(self) -> bool:
+        """True once the score has reached the threshold."""
+        return self.alarm_event is not None
+
+    @property
+    def score(self) -> int:
+        """Current window score."""
+        return self.scores.score
+
+    def observe(self, request: IORequest) -> None:
+        """Ingest one request header (multi-block requests are split)."""
+        self.tick(request.time)
+        for unit in request.split():
+            self._ingest(unit)
+
+    def tick(self, now: float) -> None:
+        """Advance simulated time, closing any slices that have expired.
+
+        Call this even without I/O so quiet periods still decay the score.
+        """
+        target_slice = int(now // self.config.slice_duration)
+        while self._current.index < target_slice:
+            self._close_slice()
+
+    def _ingest(self, unit: IORequest) -> None:
+        if unit.is_read:
+            self._current.rio += 1
+            self.table.record_read(unit.lba, self._current.index)
+        else:
+            self._current.wio += 1
+            if self.table.record_write(unit.lba, self._current.index):
+                self._current.owio += 1
+                self._current.overwritten_lbas.add(unit.lba)
+
+    def _close_slice(self) -> None:
+        closed = self._current
+        self.window.push(closed)
+        features = compute_features(self.table, self.window)
+        verdict = self.tree.predict_one(features.as_tuple())
+        score = self.scores.push(verdict)
+        alarm = score >= self.config.threshold
+        event = DetectionEvent(
+            time=(closed.index + 1) * self.config.slice_duration,
+            slice_index=closed.index,
+            features=features,
+            verdict=verdict,
+            score=score,
+            alarm=alarm,
+        )
+        if self.keep_history:
+            self.events.append(event)
+        if alarm and self.alarm_event is None:
+            self.alarm_event = event
+            if self.on_alarm is not None:
+                self.on_alarm(event)
+        # After the push the window spans slices [next - N, closed.index];
+        # entries last touched before that span expire (Alg. 1 line 6).
+        next_index = closed.index + 1
+        self.table.expire(next_index - self.config.window_slices)
+        self._current = SliceStats(index=next_index)
+
+    # -- control ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget all state (called after a recovery completes)."""
+        self.table.clear()
+        self.window = SlidingWindow(self.config.window_slices)
+        self.scores.reset()
+        self.alarm_event = None
+        # Keep the slice cursor where it is: time does not rewind.
+
+    def memory_bytes(self) -> int:
+        """Detector DRAM footprint under Table III unit sizes."""
+        return self.table.memory_bytes()

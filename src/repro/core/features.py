@@ -1,0 +1,94 @@
+"""The six invariant ransomware features (§III-A).
+
+Computed at every slice boundary from the counting table and the sliding
+window:
+
+===========  ===============================================================
+Feature      Definition implemented (Fig. 3 semantics)
+===========  ===============================================================
+``OWIO``     Overwrite events during the latest slice.
+``OWST``     Distinct LBAs overwritten in the window / blocks written in the
+             window (duplicate overwrites of one block count once — this is
+             what separates DoD-style wiping, which rewrites each block 7x,
+             from ransomware, which overwrites each block once).
+``PWIO``     Overwrite events summed over the previous window (the N slices
+             before the latest).
+``AVGWIO``   Mean WL over the counting-table entries alive in the window —
+             the average length of continuously overwritten runs.
+``OWSLOPE``  OWIO / PWIO — the abrupt-increase signal; when PWIO is zero
+             the slope degrades to OWIO itself (treating the quiet previous
+             window as unit activity).
+``IO``       RIO + WIO of the latest slice.  §III-A describes a ratio
+             variant instead; Fig. 3 (the implementation the paper's
+             results use) defines ``IO = RIO + WIO``, which is what we
+             implement — see DESIGN.md "paper ambiguities".
+===========  ===============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.counting_table import CountingTable
+from repro.core.window import SlidingWindow
+
+#: Canonical feature order used by the tree and the training matrices.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "owio",
+    "owst",
+    "pwio",
+    "avgwio",
+    "owslope",
+    "io",
+)
+
+
+@dataclass(frozen=True)
+class FeatureVector:
+    """One slice's feature values in the canonical order."""
+
+    owio: float
+    owst: float
+    pwio: float
+    avgwio: float
+    owslope: float
+    io: float
+
+    def as_tuple(self) -> Tuple[float, ...]:
+        """Values in :data:`FEATURE_NAMES` order."""
+        return (self.owio, self.owst, self.pwio, self.avgwio, self.owslope, self.io)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Name -> value mapping."""
+        return dict(zip(FEATURE_NAMES, self.as_tuple()))
+
+    def as_list(self) -> List[float]:
+        """Values as a mutable list (training-matrix row)."""
+        return list(self.as_tuple())
+
+
+def compute_features(table: CountingTable, window: SlidingWindow) -> FeatureVector:
+    """Evaluate the six features after a slice has been pushed to the window.
+
+    Must be called with the just-closed slice already in ``window`` (it is
+    the slice the features describe).
+    """
+    latest = window.latest
+    if latest is None:
+        return FeatureVector(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    owio = float(latest.owio)
+    pwio = float(window.pwio())
+    wio_window = window.wio_window()
+    owst = window.unique_overwritten() / wio_window if wio_window > 0 else 0.0
+    avgwio = table.mean_wl()
+    owslope = owio / pwio if pwio > 0 else owio
+    io = float(latest.io)
+    return FeatureVector(
+        owio=owio,
+        owst=owst,
+        pwio=pwio,
+        avgwio=avgwio,
+        owslope=owslope,
+        io=io,
+    )

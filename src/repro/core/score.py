@@ -1,0 +1,47 @@
+"""The window score of Fig. 4.
+
+Each slice's decision-tree verdict (0/1) enters a ring of the last N
+verdicts; the score is their sum, so it ranges 0..N and both rises and
+decays as the window slides (Algorithm 1 lines 5-7).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.errors import ConfigError
+
+
+class ScoreTracker:
+    """Sum of the last N decision-tree verdicts."""
+
+    def __init__(self, window_slices: int) -> None:
+        if window_slices < 1:
+            raise ConfigError(f"window must hold >= 1 verdict, got {window_slices}")
+        self._verdicts: Deque[int] = deque(maxlen=window_slices)
+        self._score = 0
+        self.window_slices = window_slices
+
+    @property
+    def score(self) -> int:
+        """Current window score (0..N)."""
+        return self._score
+
+    def push(self, verdict: int) -> int:
+        """Fold in the latest verdict and return the updated score."""
+        if verdict not in (0, 1):
+            raise ConfigError(f"verdict must be 0 or 1, got {verdict}")
+        if len(self._verdicts) == self._verdicts.maxlen:
+            self._score -= self._verdicts[0]
+        self._verdicts.append(verdict)
+        self._score += verdict
+        return self._score
+
+    def reset(self) -> None:
+        """Clear all verdicts (after recovery, the window restarts clean)."""
+        self._verdicts.clear()
+        self._score = 0
+
+    def __len__(self) -> int:
+        return len(self._verdicts)

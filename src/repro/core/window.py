@@ -1,0 +1,96 @@
+"""Per-slice statistics and the sliding window over them.
+
+The detector closes one :class:`SliceStats` per time slice and keeps the
+last N of them; the six features are window aggregates over this ring
+(plus the counting table's run-length state).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Iterator, Optional, Set
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class SliceStats:
+    """Raw counters accumulated during one time slice.
+
+    Attributes:
+        index: The slice number (time // slice_duration).
+        rio: Read blocks observed during the slice.
+        wio: Written blocks observed during the slice.
+        owio: Overwrite events (repeat overwrites of one block all count —
+            this is the paper's OWIO).
+        overwritten_lbas: Distinct LBAs overwritten during the slice; the
+            window-level union de-duplicates for OWST.
+    """
+
+    index: int
+    rio: int = 0
+    wio: int = 0
+    owio: int = 0
+    overwritten_lbas: Set[int] = field(default_factory=set)
+
+    @property
+    def io(self) -> int:
+        """Total I/O of the slice (the Fig. 3 ``IO = RIO + WIO``)."""
+        return self.rio + self.wio
+
+
+class SlidingWindow:
+    """Ring buffer of the last N closed slices."""
+
+    def __init__(self, num_slices: int) -> None:
+        if num_slices < 1:
+            raise ConfigError(f"window must hold >= 1 slice, got {num_slices}")
+        self._slices: Deque[SliceStats] = deque(maxlen=num_slices)
+        self.num_slices = num_slices
+
+    def push(self, stats: SliceStats) -> None:
+        """Append a closed slice, evicting the oldest when full."""
+        self._slices.append(stats)
+
+    def __len__(self) -> int:
+        return len(self._slices)
+
+    def __iter__(self) -> Iterator[SliceStats]:
+        return iter(self._slices)
+
+    @property
+    def latest(self) -> Optional[SliceStats]:
+        """The most recently closed slice, if any."""
+        return self._slices[-1] if self._slices else None
+
+    # -- window aggregates used by the features -------------------------
+
+    def pwio(self) -> int:
+        """Sum of OWIO over the window *excluding* the latest slice.
+
+        This is the paper's PWIO: overwrites during the previous window
+        (slices t-N .. t-1 when the latest closed slice is t).
+        """
+        if len(self._slices) <= 1:
+            return 0
+        return sum(s.owio for s in list(self._slices)[:-1])
+
+    def owio_window(self) -> int:
+        """Sum of OWIO over the whole window (including the latest slice)."""
+        return sum(s.owio for s in self._slices)
+
+    def wio_window(self) -> int:
+        """Total written blocks over the window."""
+        return sum(s.wio for s in self._slices)
+
+    def unique_overwritten(self) -> int:
+        """Distinct LBAs overwritten anywhere in the window (OWST numerator)."""
+        union: Set[int] = set()
+        for stats in self._slices:
+            union |= stats.overwritten_lbas
+        return len(union)
+
+    def oldest_index(self) -> Optional[int]:
+        """Slice index of the oldest slice still in the window."""
+        return self._slices[0].index if self._slices else None

@@ -1,0 +1,96 @@
+"""Exception hierarchy for the SSD-Insider reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class NandError(ReproError):
+    """Base class for NAND flash simulation errors."""
+
+
+class ProgramError(NandError):
+    """A page was programmed out of order or twice without an erase."""
+
+
+class EraseError(NandError):
+    """A block erase violated the chip's rules."""
+
+class ReadError(NandError):
+    """A page read targeted an unwritten or out-of-range page."""
+
+
+class AddressError(NandError):
+    """A physical or logical address was out of range."""
+
+
+class FtlError(ReproError):
+    """Base class for flash-translation-layer errors."""
+
+
+class OutOfSpaceError(FtlError):
+    """The FTL ran out of free pages even after garbage collection."""
+
+
+class UnmappedReadError(FtlError):
+    """A logical read targeted an LBA that was never written."""
+
+
+class DeviceError(ReproError):
+    """Base class for SSD device-level errors."""
+
+
+class DeviceReadOnlyError(DeviceError):
+    """A write was issued while the device is in read-only lockdown."""
+
+
+class RecoveryError(DeviceError):
+    """The rollback procedure could not complete."""
+
+
+class DetectorError(ReproError):
+    """Base class for detection-pipeline errors."""
+
+
+class NotFittedError(DetectorError):
+    """The decision tree was used before being trained."""
+
+
+class TrainingError(DetectorError):
+    """The training data was unusable (e.g. empty or single-class when a
+    split was required)."""
+
+
+class FilesystemError(ReproError):
+    """Base class for SimpleFS errors."""
+
+
+class FsFullError(FilesystemError):
+    """No free blocks or inodes remain."""
+
+
+class FsConsistencyError(FilesystemError):
+    """An unrecoverable metadata inconsistency was found."""
+
+
+class FileNotFoundFsError(FilesystemError):
+    """The named file does not exist in the filesystem."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured or driven incorrectly."""
+
+
+class TraceError(ReproError):
+    """A trace file could not be parsed or written."""

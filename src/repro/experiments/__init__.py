@@ -1,0 +1,73 @@
+"""One runnable experiment per table/figure of the paper's evaluation.
+
+Every module exposes ``run(...) -> <Result>`` returning a structured result
+with a ``render()`` method that prints the same rows/series the paper
+reports.  The ``benchmarks/`` suite wraps these, and ``EXPERIMENTS.md``
+records paper-vs-measured for each.
+
+=========  =============================================================
+Module     Paper content
+=========  =============================================================
+fig1       Ransomware overwriting behaviour (activity correlation +
+           cumulative overwrite counts)
+fig2       The six features' correlation and cumulative panels
+fig4       Sliding-window score behaviour around an attack onset
+table1     The training/testing scenario matrix
+fig7       FAR/FRR vs score threshold per background category
+table2     File-system consistency after attack + rollback + fsck
+fig8       Per-op software latency: baseline FTL vs +SSD-Insider
+fig9       GC page copies: conventional vs Insider FTL
+table3     DRAM requirements of the detector structures
+claims     §V headline claims: detection <10 s, recovery <1 s, 0 % loss
+=========  =============================================================
+
+Beyond the paper (ablations and extension studies):
+
+===================  ======================================================
+ablation_features    leave-one-feature-out FAR/FRR at the operating point
+ablation_classifier  ID3 vs logistic regression vs a decision stump
+ablation_window      window-size / threshold operating-point sweep
+ablation_gc          GC victim-policy comparison (greedy / cost-benefit /
+                     wear-aware), conventional and Insider
+evasion              attack-rate sweep: detection probability vs damage
+latency_profile      per-sample detection-latency statistics
+===================  ======================================================
+"""
+
+from repro.experiments import (  # noqa: F401
+    ablation_classifier,
+    ablation_features,
+    ablation_gc,
+    ablation_window,
+    claims,
+    evasion,
+    latency_profile,
+    fig1,
+    fig2,
+    fig4,
+    fig7,
+    fig8,
+    fig9,
+    table1,
+    table2,
+    table3,
+)
+
+__all__ = [
+    "ablation_classifier",
+    "ablation_features",
+    "ablation_gc",
+    "ablation_window",
+    "claims",
+    "evasion",
+    "fig1",
+    "fig2",
+    "fig4",
+    "fig7",
+    "fig8",
+    "fig9",
+    "latency_profile",
+    "table1",
+    "table2",
+    "table3",
+]

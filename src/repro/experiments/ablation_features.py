@@ -1,0 +1,129 @@
+"""Feature ablation: what does each of the six features contribute?
+
+Retrains the detector with one feature removed at a time and re-runs the
+Fig. 7 evaluation at the paper's operating point.  DESIGN.md's claim to
+verify: OWST is what separates DoD-style wiping from ransomware, and PWIO
+is what catches slow samples — so dropping them should hurt exactly the
+heavy-overwrite FAR and the slow-sample FRR respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import render_table
+from repro.core.config import DetectorConfig
+from repro.core.features import FEATURE_NAMES
+from repro.core.id3 import DecisionTree
+from repro.train.dataset import Dataset, build_dataset
+from repro.train.evaluate import evaluate_accuracy
+from repro.workloads.catalog import testing_scenarios, training_scenarios
+
+
+class FeatureSubsetModel:
+    """Adapter: a tree trained on a feature subset, fed full vectors."""
+
+    def __init__(self, tree: DecisionTree, keep: Sequence[int]) -> None:
+        self.tree = tree
+        self.keep = list(keep)
+
+    def predict_one(self, row: Sequence[float]) -> int:
+        """Project the full six-feature row onto the subset and classify."""
+        return self.tree.predict_one([row[index] for index in self.keep])
+
+
+@dataclass
+class AblationRow:
+    """One configuration's operating-point outcome."""
+
+    dropped: str
+    worst_far: float
+    worst_frr: float
+    #: category -> (far, frr) at the operating threshold.
+    per_category: Dict[str, tuple]
+
+
+@dataclass
+class FeatureAblationResult:
+    """All leave-one-out rows plus the full-feature reference."""
+
+    rows: List[AblationRow]
+
+    def render(self) -> str:
+        """Text rendering of the rows/series the paper reports."""
+        table_rows = [
+            (row.dropped, f"{row.worst_far:.0%}", f"{row.worst_frr:.0%}")
+            for row in self.rows
+        ]
+        return "\n".join(
+            [
+                "Feature ablation - worst-category FAR/FRR at threshold 3",
+                "(drop one feature, retrain, re-evaluate the testing matrix)",
+                render_table(("dropped feature", "worst FAR", "worst FRR"),
+                             table_rows),
+            ]
+        )
+
+    def row(self, dropped: str) -> AblationRow:
+        """Find a configuration by the feature it dropped."""
+        for candidate in self.rows:
+            if candidate.dropped == dropped:
+                return candidate
+        raise KeyError(dropped)
+
+
+def _subset_dataset(dataset: Dataset, keep: Sequence[int]) -> Dataset:
+    subset = Dataset()
+    subset.labels = list(dataset.labels)
+    subset.rows = [[row[index] for index in keep] for row in dataset.rows]
+    return subset
+
+
+def run(
+    seed: int = 0,
+    duration: float = 60.0,
+    runs_per_scenario: int = 2,
+    repetitions: int = 2,
+    config: Optional[DetectorConfig] = None,
+) -> FeatureAblationResult:
+    """Leave-one-feature-out sweep over the testing matrix."""
+    config = config or DetectorConfig()
+    dataset = build_dataset(
+        training_scenarios(), seed=seed, duration=duration,
+        runs_per_scenario=runs_per_scenario, config=config,
+    )
+    configurations = [("(none)", list(range(len(FEATURE_NAMES))))]
+    for index, name in enumerate(FEATURE_NAMES):
+        keep = [i for i in range(len(FEATURE_NAMES)) if i != index]
+        configurations.append((name, keep))
+    rows: List[AblationRow] = []
+    for dropped, keep in configurations:
+        subset = _subset_dataset(dataset, keep)
+        tree = DecisionTree(
+            max_depth=config.max_tree_depth,
+            feature_names=[FEATURE_NAMES[i] for i in keep],
+        ).fit(*subset.as_arrays())
+        model = FeatureSubsetModel(tree, keep)
+        curves = evaluate_accuracy(
+            testing_scenarios(), model, thresholds=(config.threshold,),
+            repetitions=repetitions, seed=seed + 1, duration=duration,
+            config=config,
+        )
+        per_category = {
+            category: (points[0].far, points[0].frr)
+            for category, points in curves.items()
+        }
+        rows.append(
+            AblationRow(
+                dropped=dropped,
+                worst_far=max(far for far, _ in per_category.values()),
+                worst_frr=max(frr for _, frr in per_category.values()),
+                per_category=per_category,
+            )
+        )
+    return FeatureAblationResult(rows=rows)
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,119 @@
+"""GC-policy ablation: what does victim selection cost the Insider FTL?
+
+DESIGN.md commits to the paper's greedy baseline; this ablation replays a
+write-heavy trace against all three victim policies (greedy, cost-benefit,
+wear-aware), for both the conventional and the Insider FTL, reporting page
+copies, erases, and the wear spread — the quantities each policy trades
+against the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.report import render_table
+from repro.experiments.fig9 import replay
+from repro.ftl.conventional import ConventionalFTL
+from repro.ftl.gc import GcPolicy
+from repro.ftl.insider import InsiderFTL
+from repro.ftl.victim import VictimPolicy
+from repro.nand.array import NandArray
+from repro.nand.geometry import NandGeometry
+from repro.rand import derive_seed
+from repro.workloads.scenario import Scenario
+
+
+@dataclass
+class GcAblationRow:
+    """One (FTL, policy) combination."""
+
+    ftl: str
+    policy: str
+    gc_copies: int
+    erases: int
+    wear_spread: int
+    write_amplification: float
+
+
+@dataclass
+class GcAblationResult:
+    """All combinations over the same trace."""
+
+    rows: List[GcAblationRow]
+    utilization: float
+
+    def render(self) -> str:
+        """Text rendering of the rows/series the paper reports."""
+        table_rows = [
+            (row.ftl, row.policy, row.gc_copies, row.erases,
+             row.wear_spread, f"{row.write_amplification:.2f}")
+            for row in self.rows
+        ]
+        return "\n".join(
+            [
+                f"GC victim-policy ablation at {self.utilization:.0%} fill "
+                "(ransomware-heavy trace)",
+                render_table(
+                    ("ftl", "policy", "gc copies", "erases", "wear spread",
+                     "WAF"),
+                    table_rows,
+                ),
+            ]
+        )
+
+    def row(self, ftl: str, policy: str) -> GcAblationRow:
+        """Find one combination."""
+        for candidate in self.rows:
+            if candidate.ftl == ftl and candidate.policy == policy:
+                return candidate
+        raise KeyError((ftl, policy))
+
+
+def run(
+    utilization: float = 0.85,
+    seed: int = 0,
+    duration: float = 40.0,
+    geometry: Optional[NandGeometry] = None,
+) -> GcAblationResult:
+    """Replay one overwrite-heavy scenario under every policy."""
+    geometry = geometry or NandGeometry(channels=2, ways=2, blocks_per_chip=96,
+                                        pages_per_block=64)
+    num_lbas = int(geometry.pages_total * (1.0 - 0.125))
+    scenario = Scenario("gc-ablation", ransomware="wannacry", app="database")
+    scenario_run = scenario.build(
+        seed=derive_seed(seed, "gc-ablation"), num_lbas=num_lbas,
+        duration=duration,
+    )
+    prefill = int(num_lbas * utilization)
+    rows: List[GcAblationRow] = []
+    for policy in VictimPolicy:
+        gc_policy = GcPolicy(victim_policy=policy)
+        for label, factory in (
+            ("conventional",
+             lambda: ConventionalFTL(NandArray(geometry),
+                                     gc_policy=gc_policy)),
+            ("insider",
+             lambda: InsiderFTL(
+                 NandArray(geometry), gc_policy=gc_policy,
+                 queue_capacity=max(1, int(geometry.pages_total * 0.02)),
+             )),
+        ):
+            ftl = factory()
+            replay(scenario_run.trace, ftl, prefill)
+            wear = ftl.nand.wear_stats()
+            rows.append(
+                GcAblationRow(
+                    ftl=label,
+                    policy=policy.value,
+                    gc_copies=ftl.stats.gc_page_copies,
+                    erases=ftl.stats.erases,
+                    wear_spread=wear.spread,
+                    write_amplification=ftl.stats.write_amplification,
+                )
+            )
+    return GcAblationResult(rows=rows, utilization=utilization)
+
+
+if __name__ == "__main__":
+    print(run().render())

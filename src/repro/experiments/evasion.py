@@ -1,0 +1,161 @@
+"""Evasion study: can ransomware throttle itself below the detector?
+
+The paper's implicit limitation (and SSD-Insider++'s motivation): the
+features are rate statistics, so a sample that encrypts slowly enough
+must eventually fall under every learned threshold.  This experiment
+sweeps the attack rate and measures, per rate: detection probability,
+detection latency, and — the attacker's side of the ledger — how many
+blocks the sample manages to destroy per minute when the device locks on
+alarm.  The defensive takeaway the sweep demonstrates: throttling below
+the detector also throttles the damage rate by the same factor, turning a
+minutes-long attack into days — ample time for off-device defenses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.report import render_table
+from repro.core.config import DetectorConfig
+from repro.core.id3 import DecisionTree
+from repro.core.pretrained import default_tree
+from repro.rand import derive_seed
+from repro.train.evaluate import evaluate_run
+from repro.workloads.base import LbaRegion
+from repro.workloads.ransomware.base import OverwriteClass, Ransomware
+from repro.workloads.scenario import ScenarioRun
+
+
+@dataclass
+class EvasionRow:
+    """Outcome at one attack rate."""
+
+    blocks_per_second: float
+    detection_rate: float
+    mean_latency: float
+    #: Blocks the sample wrote before the lockdown (or over the whole run
+    #: when undetected), averaged over repetitions — the attacker's take.
+    damage_blocks: float
+    #: The same damage normalised per minute of attack wall-time.
+    damage_blocks_per_minute: float
+
+
+@dataclass
+class EvasionResult:
+    """The rate sweep."""
+
+    rows: List[EvasionRow]
+    threshold: int
+
+    def render(self) -> str:
+        """Text rendering of the rows/series the paper reports."""
+        table_rows = [
+            (
+                f"{row.blocks_per_second:.0f}",
+                f"{row.detection_rate:.0%}",
+                f"{row.mean_latency:.1f} s" if row.mean_latency >= 0 else "-",
+                f"{row.damage_blocks:,.0f}",
+                f"{row.damage_blocks_per_minute:,.0f}",
+            )
+            for row in self.rows
+        ]
+        return "\n".join(
+            [
+                f"Evasion sweep (threshold {self.threshold}): attack rate vs "
+                "detection and damage",
+                render_table(
+                    ("attack blk/s", "detected", "mean latency",
+                     "blocks destroyed", "damage blk/min"),
+                    table_rows,
+                ),
+                "Throttling below the detector throttles the damage rate by "
+                "the same factor.",
+            ]
+        )
+
+
+def _throttled_run(rate: float, seed: int, duration: float) -> ScenarioRun:
+    region = LbaRegion(0, 120_000)
+    attack = Ransomware(
+        name="throttled",
+        region=region,
+        blocks_per_second=rate,
+        overwrite_class=OverwriteClass.IN_PLACE,
+        speed_jitter_sigma=0.2,
+        start=5.0,
+        duration=duration - 5.0,
+        seed=seed,
+    )
+    from repro.blockdev.trace import Trace
+
+    trace = Trace(attack.requests())
+    per_slice = {}
+    for request in trace:
+        index = int(request.time)
+        per_slice[index] = per_slice.get(index, 0) + request.length
+    active = {index for index, blocks in per_slice.items() if blocks >= 8}
+    return ScenarioRun(
+        name=f"evasion-{rate:.0f}",
+        trace=trace,
+        duration=duration,
+        ransomware="throttled",
+        onset=5.0,
+        category="evasion",
+        active_slices=active,
+    )
+
+
+def run(
+    rates: Sequence[float] = (25, 50, 100, 200, 400, 800, 1600),
+    seed: int = 0,
+    duration: float = 60.0,
+    repetitions: int = 3,
+    tree: Optional[DecisionTree] = None,
+    config: Optional[DetectorConfig] = None,
+) -> EvasionResult:
+    """Sweep attack rates against the trained detector."""
+    config = config or DetectorConfig()
+    tree = tree or default_tree()
+    rows: List[EvasionRow] = []
+    for rate in rates:
+        detections = 0
+        latencies: List[float] = []
+        damages: List[float] = []
+        for repetition in range(repetitions):
+            run_seed = derive_seed(seed, "evasion", str(rate), str(repetition))
+            scenario_run = _throttled_run(rate, run_seed, duration)
+            outcome = evaluate_run(scenario_run, tree, config)
+            latency = outcome.detection_latency(config.threshold)
+            attack_span = duration - 5.0
+            if latency is not None:
+                detections += 1
+                latencies.append(latency)
+                exposure = min(latency, attack_span)
+            else:
+                exposure = attack_span
+            # The device locks on alarm: only writes issued before the
+            # lockdown destroy anything.
+            destroyed = sum(
+                request.length
+                for request in scenario_run.trace
+                if request.is_write
+                and request.time <= scenario_run.onset + exposure
+            )
+            damages.append((destroyed, destroyed / (exposure / 60.0)))
+        rows.append(
+            EvasionRow(
+                blocks_per_second=rate,
+                detection_rate=detections / repetitions,
+                mean_latency=(sum(latencies) / len(latencies)
+                              if latencies else -1.0),
+                damage_blocks=sum(d for d, _ in damages) / len(damages),
+                damage_blocks_per_minute=(sum(r for _, r in damages)
+                                          / len(damages)),
+            )
+        )
+    return EvasionResult(rows=rows, threshold=config.threshold)
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,204 @@
+"""Table II — file-system consistency after attack, rollback, and fsck.
+
+The paper ran 100 attack/recover cycles against EXT4 and found every
+corruption (stale superblock counters, free-space bitmap disagreements)
+resolved by fsck, with no encrypted files left.  The reproduction runs the
+same cycle on SimpleFS: build a corpus, launch the filesystem-level
+ransomware at an arbitrary time, let the in-SSD detector trip the
+read-only lockdown, roll the mapping table back, fsck, and audit every
+file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.analysis.report import render_table
+from repro.core.id3 import DecisionTree
+from repro.core.pretrained import default_tree
+from repro.fs.fsck import CorruptionType, fsck
+from repro.fs.ransomfs import FilesystemRansomware, looks_encrypted
+from repro.fs.simplefs import SimpleFS
+from repro.nand.geometry import NandGeometry
+from repro.rand import derive_rng, derive_seed
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SimulatedSSD
+
+
+@dataclass
+class Table2Result:
+    """Aggregates over all attack/recover cycles."""
+
+    cycles: int
+    corruption_counts: Dict[CorruptionType, int] = field(default_factory=dict)
+    unresolved: int = 0
+    files_encrypted_left: int = 0
+    files_lost: int = 0
+    files_checked: int = 0
+    alarms: int = 0
+
+    def render(self) -> str:
+        """Text rendering of the rows/series the paper reports."""
+        rows = []
+        for corruption in CorruptionType:
+            if corruption is CorruptionType.NONE:
+                continue
+            count = self.corruption_counts.get(corruption, 0)
+            rows.append(
+                (
+                    corruption.value,
+                    count,
+                    "x" if self.unresolved == 0 else str(self.unresolved),
+                    "x" if self.files_encrypted_left == 0 else str(self.files_encrypted_left),
+                )
+            )
+        return "\n".join(
+            [
+                f"Table II - consistency checks over {self.cycles} attack/recover "
+                f"cycles (paper ran 100)",
+                render_table(
+                    ("type of corruption", "occurrences", "not resolved",
+                     "files left encrypted"),
+                    rows,
+                ),
+                f"alarms raised: {self.alarms}/{self.cycles}; "
+                f"files audited: {self.files_checked}; "
+                f"lost/mismatched: {self.files_lost}",
+            ]
+        )
+
+
+def run_cycle(
+    seed: int,
+    tree: Optional[DecisionTree] = None,
+    num_files: int = 300,
+    in_place: bool = True,
+    journal_blocks: int = 0,
+) -> Dict:
+    """One attack/recover/fsck cycle; returns its raw outcome."""
+    # Queue provisioning per Table III's rule: cover one retention window
+    # of worst-case writes.  The filesystem moves ~1000 blocks/s
+    # (block_op_cost = 1 ms), so 10 s of attack plus metadata churn fits
+    # comfortably in 16k entries — underprovisioning here is what loses
+    # data (evicted backups are unrecoverable).
+    config = SSDConfig(
+        geometry=NandGeometry(channels=2, ways=4, blocks_per_chip=128,
+                              pages_per_block=64),
+        queue_capacity=16_000,
+    )
+    device = SimulatedSSD(config, tree=tree or default_tree())
+    # ext4-like delayed metadata writeback: the on-disk superblock/bitmap
+    # trail the inode table by up to a commit interval, so the rollback's
+    # crash-like cut exposes stale counters for fsck to fix (the very
+    # corruption classes Table II reports).
+    filesystem = SimpleFS(device, num_inodes=max(2 * num_files, 64),
+                          metadata_flush_interval=4.0,
+                          journal_blocks=journal_blocks)
+    filesystem.format()
+    rng = derive_rng(seed, "table2-files")
+    originals = {}
+    for index in range(num_files):
+        # Low-entropy plaintext so the encrypted-content audit is clean.
+        size = int(rng.integers(4096, 100_000))
+        data = bytes([65 + index % 26]) * size
+        name = f"doc{index:04d}.txt"
+        filesystem.create(name, data)
+        originals[name] = data
+    # The attack starts at an arbitrary later time (paper: "at an
+    # arbitrary point of time").  The idle gap exceeds the retention
+    # window so the audited corpus is "old and safe"; data younger than
+    # one window is — correctly — sacrificed by the rollback, exactly as
+    # after a sudden power loss.
+    device.tick(device.clock.now + config.retention
+                + float(rng.uniform(2.0, 15.0)))
+    # The user keeps working right up to the detonation: scratch files are
+    # created, edited and deleted continuously.  The rollback boundary
+    # (t - 10 s) therefore cuts through live metadata updates — this is
+    # what produces the stale-counter / bitmap inconsistencies of the
+    # paper's Table II, which fsck must then resolve.
+    work_deadline = device.clock.now + float(rng.uniform(8.0, 14.0))
+    scratch_index = 0
+    while device.clock.now < work_deadline:
+        device.tick(device.clock.now + float(rng.exponential(0.4)))
+        name = f"work{scratch_index:04d}.tmp"
+        filesystem.create(name, bytes([90]) * int(rng.integers(4096, 30_000)))
+        if scratch_index >= 3 and rng.random() < 0.5:
+            victim = f"work{int(rng.integers(0, scratch_index - 1)):04d}.tmp"
+            if victim in filesystem.list_files():
+                if rng.random() < 0.5:
+                    filesystem.overwrite(
+                        victim, bytes([88]) * int(rng.integers(4096, 20_000))
+                    )
+                else:
+                    filesystem.delete(victim)
+        scratch_index += 1
+    attacker = FilesystemRansomware(filesystem, in_place=in_place, seed=seed)
+    attacker.run(stop_when=lambda: device.alarm_raised)
+    alarm = device.alarm_raised
+    if alarm:
+        device.recover()
+    report = fsck(device)
+    audit = SimpleFS(device, num_inodes=max(2 * num_files, 64),
+                     journal_blocks=journal_blocks)
+    audit.mount()
+    encrypted_left = lost = 0
+    for name, data in originals.items():
+        try:
+            content = audit.read_file(name)
+        except Exception:
+            lost += 1
+            continue
+        if looks_encrypted(content):
+            encrypted_left += 1
+        elif content != data:
+            lost += 1
+    return {
+        "alarm": alarm,
+        "fsck": report,
+        "encrypted_left": encrypted_left,
+        "lost": lost,
+        "files": len(originals),
+    }
+
+
+def run(
+    cycles: int = 10,
+    seed: int = 0,
+    tree: Optional[DecisionTree] = None,
+    num_files: int = 300,
+    journal_blocks: int = 0,
+) -> Table2Result:
+    """Run many attack/recover cycles and aggregate Table II.
+
+    ``journal_blocks > 0`` enables the metadata journal — the ablation
+    showing that transactional journaling turns the post-rollback repair
+    into pure replay (corruption counts drop to zero).
+    """
+    result = Table2Result(cycles=cycles)
+    shared_tree = tree or default_tree()
+    for cycle in range(cycles):
+        # Alternate in-place and out-of-place attackers, as the paper's
+        # two in-house variants do.
+        outcome = run_cycle(
+            seed=derive_seed(seed, "table2", str(cycle)),
+            tree=shared_tree,
+            num_files=num_files,
+            in_place=(cycle % 2 == 0),
+            journal_blocks=journal_blocks,
+        )
+        result.alarms += int(outcome["alarm"])
+        result.files_encrypted_left += outcome["encrypted_left"]
+        result.files_lost += outcome["lost"]
+        result.files_checked += outcome["files"]
+        for corruption, count in outcome["fsck"].corruptions.items():
+            result.corruption_counts[corruption] = (
+                result.corruption_counts.get(corruption, 0) + count
+            )
+        if not outcome["fsck"].repaired:
+            result.unresolved += 1
+    return result
+
+
+if __name__ == "__main__":
+    print(run().render())

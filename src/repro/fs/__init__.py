@@ -1,0 +1,26 @@
+"""SimpleFS: a small ext-like filesystem on the simulated SSD.
+
+Exists for the paper's Table II experiment: after a mapping-table rollback
+the on-disk state looks like a crash 10 seconds in the past, so file-system
+metadata (superblock counters, the free-block bitmap, inode block lists)
+can be mutually inconsistent; :func:`repro.fs.fsck.fsck` finds and repairs
+exactly the corruption classes Table II enumerates, and the experiment then
+verifies that no encrypted file content survived recovery.
+"""
+
+from repro.fs.fsck import CorruptionType, FsckReport, fsck
+from repro.fs.inode import Inode
+from repro.fs.layout import FsLayout
+from repro.fs.ransomfs import FilesystemRansomware, looks_encrypted
+from repro.fs.simplefs import SimpleFS
+
+__all__ = [
+    "CorruptionType",
+    "FilesystemRansomware",
+    "FsLayout",
+    "FsckReport",
+    "Inode",
+    "SimpleFS",
+    "fsck",
+    "looks_encrypted",
+]

@@ -1,0 +1,52 @@
+"""Inode structure of SimpleFS."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Inode:
+    """One file's metadata.
+
+    ``block_count`` is stored redundantly with ``len(blocks)`` on purpose:
+    it is the per-inode counter whose disagreement after a rollback fsck
+    repairs (Table II "wrong inode-block count").
+    """
+
+    index: int
+    used: bool = False
+    name: str = ""
+    size_bytes: int = 0
+    block_count: int = 0
+    blocks: List[int] = field(default_factory=list)
+    mtime: float = 0.0
+
+    def to_record(self) -> Dict:
+        """Serialisable on-disk form."""
+        if not self.used:
+            return {"u": 0}
+        return {
+            "u": 1,
+            "n": self.name,
+            "s": self.size_bytes,
+            "c": self.block_count,
+            "b": self.blocks,
+            "t": self.mtime,
+        }
+
+    @classmethod
+    def from_record(cls, index: int, record: Dict) -> "Inode":
+        """Rebuild from the on-disk form (tolerates missing fields)."""
+        if not record or not record.get("u"):
+            return cls(index=index)
+        return cls(
+            index=index,
+            used=True,
+            name=record.get("n", ""),
+            size_bytes=int(record.get("s", 0)),
+            block_count=int(record.get("c", 0)),
+            blocks=[int(b) for b in record.get("b", [])],
+            mtime=float(record.get("t", 0.0)),
+        )

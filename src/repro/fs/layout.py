@@ -1,0 +1,112 @@
+"""On-disk layout of SimpleFS.
+
+::
+
+    block 0                superblock (JSON in one 4-KB block)
+    blocks 1 .. b          free-block bitmap (1 bit per data block)
+    blocks b+1 .. i        inode table (INODES_PER_BLOCK inodes per block)
+    blocks i+1 .. end      data blocks
+
+The superblock carries the two counters whose staleness after a rollback
+produces Table II's "wrong free-block count" and "wrong inode count"
+corruption classes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import FilesystemError
+from repro.units import BLOCK_SIZE
+
+MAGIC = "SIMPLEFS-1"
+INODES_PER_BLOCK = 16
+
+
+@dataclass(frozen=True)
+class FsLayout:
+    """Block ranges of each on-disk region."""
+
+    total_blocks: int
+    num_inodes: int
+    #: Metadata-journal ring size in blocks (0 = journaling disabled).
+    journal_blocks: int = 0
+
+    def __post_init__(self) -> None:
+        if self.total_blocks < 8:
+            raise FilesystemError(f"device too small: {self.total_blocks} blocks")
+        if self.num_inodes < 1:
+            raise FilesystemError(f"need >= 1 inode, got {self.num_inodes}")
+        if self.journal_blocks < 0:
+            raise FilesystemError("journal_blocks must be >= 0")
+        if self.data_start >= self.total_blocks:
+            raise FilesystemError("metadata would not leave any data blocks")
+
+    @property
+    def superblock_lba(self) -> int:
+        """Block holding the superblock."""
+        return 0
+
+    @property
+    def bitmap_start(self) -> int:
+        """First bitmap block."""
+        return 1
+
+    @property
+    def bitmap_blocks(self) -> int:
+        """Bitmap blocks needed for one bit per *data* block."""
+        bits_per_block = BLOCK_SIZE * 8
+        return -(-self.total_blocks // bits_per_block)
+
+    @property
+    def inode_start(self) -> int:
+        """First inode-table block."""
+        return self.bitmap_start + self.bitmap_blocks
+
+    @property
+    def inode_blocks(self) -> int:
+        """Inode-table blocks."""
+        return -(-self.num_inodes // INODES_PER_BLOCK)
+
+    @property
+    def journal_start(self) -> int:
+        """First journal block (meaningful only when journaling is on)."""
+        return self.inode_start + self.inode_blocks
+
+    @property
+    def data_start(self) -> int:
+        """First data block."""
+        return self.journal_start + self.journal_blocks
+
+    @property
+    def data_blocks(self) -> int:
+        """Number of data blocks."""
+        return self.total_blocks - self.data_start
+
+    def inode_block_of(self, inode_index: int) -> int:
+        """The LBA of the inode-table block holding ``inode_index``."""
+        if not (0 <= inode_index < self.num_inodes):
+            raise FilesystemError(f"inode {inode_index} out of range")
+        return self.inode_start + inode_index // INODES_PER_BLOCK
+
+
+def encode_block(payload: dict) -> bytes:
+    """Serialise a metadata dict into one zero-padded 4-KB block."""
+    raw = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(raw) > BLOCK_SIZE:
+        raise FilesystemError(
+            f"metadata record of {len(raw)} bytes exceeds the {BLOCK_SIZE}-byte block"
+        )
+    return raw + b"\x00" * (BLOCK_SIZE - len(raw))
+
+
+def decode_block(block: bytes) -> dict:
+    """Parse a metadata block written by :func:`encode_block`."""
+    raw = block.rstrip(b"\x00")
+    if not raw:
+        return {}
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FilesystemError(f"corrupt metadata block: {exc}") from exc

@@ -1,0 +1,289 @@
+"""Shared page-mapping FTL machinery.
+
+:class:`PageMappedFTL` implements the write/read/trim paths and greedy GC
+once; the conventional and Insider variants differ only in the hooks that
+run when a physical page is superseded and in what GC is allowed to reclaim.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import (
+    ConfigError,
+    EraseError,
+    FtlError,
+    OutOfSpaceError,
+    UnmappedReadError,
+)
+from repro.ftl.allocator import BlockAllocator
+from repro.ftl.gc import GcPolicy
+from repro.ftl.mapping import MappingTable
+from repro.ftl.stats import FtlStats
+from repro.ftl.victim import select_victim
+from repro.nand.array import NandArray
+from repro.nand.block import PageInfo, PageState
+
+
+class PageMappedFTL:
+    """Page-level mapping FTL with greedy garbage collection.
+
+    Args:
+        nand: The NAND array to manage.
+        op_ratio: Over-provisioning ratio; the logical space exposed to the
+            host is ``pages_total * (1 - op_ratio)`` blocks.
+        gc_policy: Trigger/target free-block thresholds for GC.
+    """
+
+    def __init__(
+        self,
+        nand: NandArray,
+        op_ratio: float = 0.125,
+        gc_policy: Optional[GcPolicy] = None,
+    ) -> None:
+        if not (0.0 < op_ratio < 1.0):
+            raise ConfigError(f"op_ratio must be in (0, 1), got {op_ratio}")
+        self.nand = nand
+        self.gc_policy = gc_policy or GcPolicy()
+        num_lbas = int(nand.geometry.pages_total * (1.0 - op_ratio))
+        if num_lbas < 1:
+            raise ConfigError("over-provisioning leaves no logical space")
+        # Greedy GC needs working room: one open host block, one open GC
+        # block, and at least one spare to relocate into.  Below ~3 blocks
+        # of over-provisioning the FTL can wedge with every page valid.
+        op_pages = nand.geometry.pages_total - num_lbas
+        if op_pages < 3 * nand.geometry.pages_per_block:
+            raise ConfigError(
+                f"over-provisioning of {op_pages} pages is less than 3 erase "
+                f"blocks ({3 * nand.geometry.pages_per_block} pages); greedy "
+                f"GC cannot run safely — raise op_ratio or enlarge the array"
+            )
+        self.mapping = MappingTable(num_lbas)
+        self.allocator = BlockAllocator(nand)
+        self.stats = FtlStats()
+        self._last_timestamp = 0.0
+        #: Optional static wear leveler (attach_wear_leveling()); checked
+        #: after each GC round.
+        self.wear_leveler = None
+
+    # -- host interface --------------------------------------------------
+
+    @property
+    def num_lbas(self) -> int:
+        """Logical capacity in 4-KB blocks."""
+        return self.mapping.num_lbas
+
+    def read(self, lba: int, timestamp: float = 0.0) -> PageInfo:
+        """Read the live version of ``lba``."""
+        ppa = self.mapping.lookup(lba)
+        if ppa is None:
+            raise UnmappedReadError(f"LBA {lba} has never been written")
+        self.stats.host_reads += 1
+        return self.nand.read(ppa)
+
+    def write(self, lba: int, timestamp: float = 0.0, payload: Optional[bytes] = None) -> int:
+        """Write ``lba``; returns the new physical page address."""
+        self._last_timestamp = max(self._last_timestamp, timestamp)
+        self._ensure_space()
+        try:
+            block = self.allocator.host_block()
+        except OutOfSpaceError:
+            # The free pool ran dry between GC passes (GC may have had to
+            # skip victims it could not finish); collect once more now that
+            # recent overwrites have created fully-invalid blocks.
+            self.collect_garbage()
+            block = self.allocator.host_block()
+        new_ppa = self.nand.program(block, lba, timestamp, payload)
+        old_ppa = self.mapping.update(lba, new_ppa)
+        self.stats.host_writes += 1
+        self._on_superseded(lba, old_ppa, new_ppa, timestamp)
+        return new_ppa
+
+    def trim(self, lba: int, timestamp: float = 0.0) -> None:
+        """Discard the live version of ``lba`` (e.g. on file deletion)."""
+        old_ppa = self.mapping.unmap(lba)
+        self.stats.host_trims += 1
+        if old_ppa is not None:
+            self._on_trimmed(lba, old_ppa, timestamp)
+
+    # -- subclass hooks -------------------------------------------------
+
+    def _on_superseded(
+        self, lba: int, old_ppa: Optional[int], new_ppa: int, timestamp: float
+    ) -> None:
+        """Called after a write remaps ``lba``; default: drop the old page."""
+        if old_ppa is not None:
+            self.nand.invalidate(old_ppa)
+
+    def _on_trimmed(self, lba: int, old_ppa: int, timestamp: float) -> None:
+        """Called after a trim unmaps ``lba``; default: drop the old page."""
+        self.nand.invalidate(old_ppa)
+
+    def _is_pinned(self, ppa: int) -> bool:
+        """True when GC must preserve an invalid page at ``ppa``."""
+        return False
+
+    def _on_pinned_moved(self, old_ppa: int, new_ppa: int) -> None:
+        """Called when GC relocates a pinned old-version page."""
+
+    # -- garbage collection ----------------------------------------------
+
+    def _ensure_space(self) -> None:
+        if self.allocator.free_blocks <= self.gc_policy.trigger_free_blocks:
+            self.collect_garbage()
+
+    def collect_garbage(self) -> int:
+        """Run GC until the free pool exceeds the target; returns erases done."""
+        erased = 0
+        while self.allocator.free_blocks <= self.gc_policy.target_free_blocks:
+            victim = select_victim(
+                self.nand,
+                is_candidate=self._gc_candidate,
+                is_pinned=self._is_pinned,
+                policy=self.gc_policy.victim_policy,
+                now=self._last_timestamp,
+            )
+            if victim is None or not self._can_complete(victim):
+                # Either nothing is reclaimable yet, or relocating the best
+                # victim would exhaust the pool mid-copy.  Give the host a
+                # chance to invalidate more pages; GC runs again before the
+                # next allocation.
+                break
+            self._relocate_and_erase(victim)
+            erased += 1
+        if erased and self.wear_leveler is not None:
+            self.wear_leveler.maybe_level()
+        return erased
+
+    def attach_wear_leveling(self, config=None):
+        """Enable static wear leveling; returns the leveler for inspection."""
+        from repro.ftl.wearlevel import StaticWearLeveler
+
+        self.wear_leveler = StaticWearLeveler(self, config)
+        return self.wear_leveler
+
+    def _can_complete(self, victim: int) -> bool:
+        """True when relocating ``victim`` cannot strand the allocator.
+
+        Every page that must survive (valid + pinned) needs a slot in the
+        GC active block or in a free block *before* the victim's erase
+        returns space to the pool.
+        """
+        geometry = self.nand.geometry
+        block = self.nand.block(victim)
+        needed = block.valid_count
+        for ppa in self.nand.block_ppa_range(victim):
+            page = block.pages[ppa % geometry.pages_per_block]
+            if page.state is PageState.INVALID and self._is_pinned(ppa):
+                needed += 1
+        if needed == 0:
+            return True
+        gc_active = self.allocator.gc_active
+        gc_slots = 0
+        if gc_active is not None:
+            gc_slots = self.nand.block(gc_active).free_pages
+        room = gc_slots + self.allocator.free_blocks * geometry.pages_per_block
+        return room >= needed
+
+    def _gc_candidate(self, global_block: int) -> bool:
+        return not (
+            self.allocator.is_free(global_block)
+            or self.allocator.is_active(global_block)
+            or self.allocator.is_retired(global_block)
+        )
+
+    def _relocate_and_erase(self, victim: int) -> None:
+        geometry = self.nand.geometry
+        victim_block = self.nand.block(victim)
+        self.stats.gc_runs += 1
+        for ppa in self.nand.block_ppa_range(victim):
+            page_index = ppa % geometry.pages_per_block
+            page = victim_block.pages[page_index]
+            if page.state is PageState.VALID:
+                self._copy_valid_page(ppa, page)
+            elif page.state is PageState.INVALID and self._is_pinned(ppa):
+                self._copy_pinned_page(ppa, page)
+        try:
+            self.nand.erase(victim)
+        except EraseError:
+            # Wear-out: every surviving page was already relocated above,
+            # so nothing is lost — retire the block and move on with one
+            # less block of capacity (the grown-bad-block path of real
+            # firmware).
+            self.allocator.retire(victim)
+            self.stats.bad_blocks += 1
+            return
+        self.stats.erases += 1
+        self.allocator.release(victim)
+
+    def _copy_valid_page(self, ppa: int, page: PageInfo) -> None:
+        lba = page.lba
+        if lba is None or self.mapping.lookup(lba) != ppa:
+            raise FtlError(
+                f"mapping invariant broken: valid page {ppa} not the live copy of its LBA"
+            )
+        target = self.allocator.gc_block()
+        new_ppa = self.nand.program(target, lba, page.written_at, page.payload)
+        self.mapping.update(lba, new_ppa)
+        self.nand.invalidate(ppa)
+        self.stats.gc_page_copies += 1
+
+    def _copy_pinned_page(self, ppa: int, page: PageInfo) -> None:
+        target = self.allocator.gc_block()
+        new_ppa = self.nand.program(target, page.lba, page.written_at, page.payload)
+        # The relocated copy is still an *old version*, so it is immediately
+        # invalid; only the recovery queue keeps it alive.
+        self.nand.invalidate(new_ppa)
+        self._on_pinned_moved(ppa, new_ppa)
+        self.stats.gc_page_copies += 1
+        self.stats.gc_pinned_copies += 1
+
+    # -- power-loss recovery ------------------------------------------------
+
+    @classmethod
+    def rebuild(cls, nand: NandArray, op_ratio: float = 0.125,
+                gc_policy: Optional[GcPolicy] = None, **kwargs):
+        """Reconstruct FTL state from the NAND array after a power loss.
+
+        Real FTLs persist nothing they cannot rebuild: the logical-to-
+        physical map is recovered by scanning every programmed page's
+        out-of-band (LBA, timestamp) record — the newest version of each
+        LBA wins, all others are re-marked invalid.  The allocator's free
+        pool is whatever blocks hold no programmed pages.
+        """
+        ftl = cls(nand, op_ratio=op_ratio, gc_policy=gc_policy, **kwargs)
+        newest = {}  # lba -> (written_at, ppa)
+        geometry = nand.geometry
+        for global_block in range(nand.num_blocks):
+            block = nand.block(global_block)
+            if block.write_pointer > 0:
+                ftl.allocator.mark_used(global_block)
+            if block.is_bad:
+                ftl.allocator.retire(global_block)
+                continue
+            for page_index in range(block.write_pointer):
+                page = block.pages[page_index]
+                ppa = global_block * geometry.pages_per_block + page_index
+                # Derive state purely from OOB: flags are not trusted
+                # (a real chip has no "invalid" bit to read back).
+                page.state = PageState.INVALID
+                if page.lba is None or page.lba >= ftl.num_lbas:
+                    continue
+                current = newest.get(page.lba)
+                if current is None or page.written_at >= current[0]:
+                    newest[page.lba] = (page.written_at, ppa)
+            block.valid_count = 0
+        for lba, (written_at, ppa) in newest.items():
+            ftl.mapping.update(lba, ppa)
+            global_block = geometry.block_of(ppa)
+            block = nand.block(global_block)
+            block.pages[ppa % geometry.pages_per_block].state = PageState.VALID
+            block.valid_count += 1
+            ftl._last_timestamp = max(ftl._last_timestamp, written_at)
+        return ftl
+
+    # -- introspection ----------------------------------------------------
+
+    def utilization(self) -> float:
+        """Fraction of logical space currently mapped."""
+        return self.mapping.mapped_count() / self.mapping.num_lbas

@@ -1,0 +1,14 @@
+"""The baseline FTL: page-level mapping + greedy GC, no recovery support.
+
+This is the "Conventional SSD" of the paper's Fig. 9 — superseded pages are
+immediately reclaimable, so GC never pays extra copies for old versions, but
+nothing can be rolled back either.
+"""
+
+from __future__ import annotations
+
+from repro.ftl.base import PageMappedFTL
+
+
+class ConventionalFTL(PageMappedFTL):
+    """Baseline FTL with no old-version retention."""

@@ -1,0 +1,149 @@
+"""The recovery queue: SSD-Insider's change log of superseded pages.
+
+Every time a live LBA is overwritten (or trimmed), the Insider FTL pushes a
+:class:`BackupEntry` recording which physical page held the previous version
+and when the change happened.  Entries older than the detection window
+(10 s by default) expire — the paper guarantees data written more than a
+window ago is safe — and only unexpired entries pin their old physical pages
+against garbage collection (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.errors import ConfigError
+
+
+#: Per-entry DRAM footprint in bytes used by the paper's Table III.
+ENTRY_SIZE_BYTES = 12
+
+
+@dataclass
+class BackupEntry:
+    """One logged change: ``lba`` moved off ``old_ppa`` at ``timestamp``.
+
+    ``old_ppa`` is ``None`` when the write was the first ever for the LBA
+    (rolling it back means unmapping the LBA, which is what removes freshly
+    written encrypted copies left by out-of-place ransomware).
+    """
+
+    lba: int
+    old_ppa: Optional[int]
+    new_ppa: Optional[int]
+    timestamp: float
+
+
+class RecoveryQueue:
+    """FIFO of backup entries with window-based expiry and PPA pinning."""
+
+    def __init__(self, retention: float = 10.0, capacity: Optional[int] = None) -> None:
+        if retention <= 0:
+            raise ConfigError(f"retention must be positive, got {retention}")
+        if capacity is not None and capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        self.retention = retention
+        self.capacity = capacity
+        #: Entries evicted early because the queue hit its capacity —
+        #: each one is recovery coverage lost inside the window (real
+        #: firmware provisions the queue so this stays zero; Table III).
+        self.evictions = 0
+        self._entries: Deque[BackupEntry] = deque()
+        self._pinned: Dict[int, BackupEntry] = {}
+        self._last_timestamp = float("-inf")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[BackupEntry]:
+        return iter(self._entries)
+
+    @property
+    def pinned_count(self) -> int:
+        """Old-version physical pages currently protected from GC."""
+        return len(self._pinned)
+
+    def push(self, entry: BackupEntry) -> List[BackupEntry]:
+        """Append a change-log entry (timestamps must be non-decreasing).
+
+        Returns any entries evicted early to respect the capacity bound;
+        their old pages become reclaimable immediately.
+        """
+        if entry.timestamp < self._last_timestamp:
+            raise ConfigError(
+                f"backup entries must arrive in time order "
+                f"({entry.timestamp} < {self._last_timestamp})"
+            )
+        self._last_timestamp = entry.timestamp
+        evicted: List[BackupEntry] = []
+        if self.capacity is not None:
+            while len(self._entries) >= self.capacity:
+                evicted.append(self._pop_front())
+                self.evictions += 1
+        self._entries.append(entry)
+        if entry.old_ppa is not None:
+            self._pinned[entry.old_ppa] = entry
+        return evicted
+
+    def _pop_front(self) -> BackupEntry:
+        entry = self._entries.popleft()
+        if entry.old_ppa is not None and self._pinned.get(entry.old_ppa) is entry:
+            del self._pinned[entry.old_ppa]
+        return entry
+
+    def expire(self, now: float) -> List[BackupEntry]:
+        """Drop (and return) entries older than the retention window.
+
+        Expired entries release their pins: the paper deems data overwritten
+        more than a window ago safe, so the old pages become reclaimable.
+        """
+        cutoff = now - self.retention
+        expired: List[BackupEntry] = []
+        while self._entries and self._entries[0].timestamp <= cutoff:
+            expired.append(self._pop_front())
+        return expired
+
+    def is_pinned(self, ppa: int) -> bool:
+        """True if ``ppa`` holds an old version GC must preserve."""
+        return ppa in self._pinned
+
+    def repin(self, old_ppa: int, new_ppa: int) -> None:
+        """Record that GC relocated a pinned old version to ``new_ppa``."""
+        entry = self._pinned.pop(old_ppa, None)
+        if entry is None:
+            raise ConfigError(f"PPA {ppa_msg(old_ppa)} is not pinned")
+        entry.old_ppa = new_ppa
+        self._pinned[new_ppa] = entry
+
+    def drain(self, predicate=None) -> List[BackupEntry]:
+        """Remove and return entries (used by rollback).
+
+        With a ``predicate``, only matching entries leave the queue; the
+        rest stay, order preserved — this is what makes *selective*
+        (per-namespace) rollback possible.
+        """
+        if predicate is None:
+            entries = list(self._entries)
+            self._entries.clear()
+            self._pinned.clear()
+            return entries
+        drained: List[BackupEntry] = []
+        kept: List[BackupEntry] = []
+        for entry in self._entries:
+            (drained if predicate(entry) else kept).append(entry)
+        self._entries = type(self._entries)(kept)
+        for entry in drained:
+            if entry.old_ppa is not None and self._pinned.get(entry.old_ppa) is entry:
+                del self._pinned[entry.old_ppa]
+        return drained
+
+    def memory_bytes(self) -> int:
+        """Current DRAM footprint under the paper's Table III sizing."""
+        return len(self._entries) * ENTRY_SIZE_BYTES
+
+
+def ppa_msg(ppa: int) -> str:
+    """Render a PPA for error messages."""
+    return f"PPA {ppa}"

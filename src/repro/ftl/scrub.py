@@ -1,0 +1,89 @@
+"""Read-disturb scrubbing.
+
+Repeatedly reading a NAND block disturbs neighbouring cells; after some
+tens of thousands of reads the data must be rewritten before it decays
+into uncorrectable errors.  The scrubber watches per-block read counters
+and proactively relocates (rewrites) blocks approaching the limit — the
+same relocation machinery GC uses, so SSD-Insider's pinned old versions
+survive scrubbing like they survive everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ScrubConfig:
+    """Read-disturb tolerance.
+
+    Attributes:
+        read_limit: Reads-since-erase at which a block must be scrubbed
+            (real MLC chips tolerate ~100k; scaled down for simulation).
+        max_per_sweep: Upper bound on blocks relocated per sweep, so
+            scrubbing never starves host I/O.
+    """
+
+    read_limit: int = 10_000
+    max_per_sweep: int = 2
+
+    def __post_init__(self) -> None:
+        if self.read_limit < 1:
+            raise ConfigError("read_limit must be >= 1")
+        if self.max_per_sweep < 1:
+            raise ConfigError("max_per_sweep must be >= 1")
+
+
+class ReadScrubber:
+    """Relocates read-disturbed blocks before they decay.
+
+    Args:
+        ftl: The page-mapped FTL to operate on.
+        config: Disturb tolerance.
+    """
+
+    def __init__(self, ftl, config: Optional[ScrubConfig] = None) -> None:
+        self.ftl = ftl
+        self.config = config or ScrubConfig()
+        self.scrubbed = 0
+
+    def due_blocks(self) -> List[int]:
+        """Blocks whose read counters crossed the limit, worst first."""
+        nand = self.ftl.nand
+        allocator = self.ftl.allocator
+        due = [
+            global_block
+            for global_block in range(nand.num_blocks)
+            if not allocator.is_free(global_block)
+            and not allocator.is_retired(global_block)
+            and nand.block(global_block).reads_since_erase
+            >= self.config.read_limit
+        ]
+        due.sort(key=lambda b: -nand.block(b).reads_since_erase)
+        return due
+
+    def sweep(self) -> int:
+        """Scrub up to ``max_per_sweep`` due blocks; returns the count.
+
+        Only closed blocks can be relocated wholesale; a disturbed *open*
+        block resolves itself when it fills and GC reaches it (its counter
+        keeps the pressure visible via :meth:`due_blocks`).
+        """
+        moved = 0
+        for global_block in self.due_blocks():
+            if moved >= self.config.max_per_sweep:
+                break
+            block = self.ftl.nand.block(global_block)
+            if not block.is_full:
+                continue
+            if self.ftl.allocator.is_active(global_block):
+                continue
+            if not self.ftl._can_complete(global_block):
+                continue
+            self.ftl._relocate_and_erase(global_block)
+            self.scrubbed += 1
+            moved += 1
+        return moved

@@ -1,0 +1,101 @@
+"""GC victim-selection policies.
+
+The paper's baseline FTL uses greedy selection (footnote 4): the victim is
+the closed block with the most reclaimable pages.  Production firmware
+often uses *cost-benefit* selection instead (Kawaguchi et al.), which
+weighs reclaimable space by block age so cold blocks get cleaned even when
+slightly fuller, and *wear-aware* variants that bias cleaning toward
+low-erase-count blocks to level wear.  All three are implemented here so
+the ablation benchmarks can quantify what the choice costs the Insider FTL
+(pinned pages shift every policy's arithmetic the same way: a pinned page
+is not reclaimable and must be copied).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.nand.array import NandArray
+from repro.nand.block import PageState
+
+
+class VictimPolicy(enum.Enum):
+    """Which block GC cleans next."""
+
+    #: Most reclaimable pages (the paper's baseline).
+    GREEDY = "greedy"
+    #: Max (reclaimable / cost) x age — cleans cold blocks earlier.
+    COST_BENEFIT = "cost_benefit"
+    #: Greedy, tie-broken toward the least-worn block.
+    WEAR_AWARE = "wear_aware"
+
+
+def select_victim(
+    nand: NandArray,
+    is_candidate: Callable[[int], bool],
+    is_pinned: Callable[[int], bool],
+    policy: VictimPolicy = VictimPolicy.GREEDY,
+    now: float = 0.0,
+) -> Optional[int]:
+    """Pick the next victim under ``policy``; None when nothing helps."""
+    best_block: Optional[int] = None
+    best_score = 0.0
+    for global_block in range(nand.num_blocks):
+        if not is_candidate(global_block):
+            continue
+        block = nand.block(global_block)
+        if not block.is_full or block.invalid_count == 0:
+            continue
+        reclaimable = block.invalid_count - _count_pinned(
+            nand, global_block, is_pinned
+        )
+        if reclaimable <= 0:
+            continue
+        score = _score(policy, nand, global_block, reclaimable, now)
+        if score > best_score:
+            best_score = score
+            best_block = global_block
+    return best_block
+
+
+def _score(
+    policy: VictimPolicy,
+    nand: NandArray,
+    global_block: int,
+    reclaimable: int,
+    now: float,
+) -> float:
+    block = nand.block(global_block)
+    pages = nand.geometry.pages_per_block
+    if policy is VictimPolicy.GREEDY:
+        return float(reclaimable)
+    if policy is VictimPolicy.WEAR_AWARE:
+        # Greedy first; among near-equals prefer the least-worn block.
+        wear_bias = 1.0 / (1.0 + block.erase_count)
+        return reclaimable + 0.5 * wear_bias
+    # COST_BENEFIT: benefit/cost weighted by the block's age.  Cost of
+    # cleaning = 1 read + u writes where u is the live fraction; benefit =
+    # reclaimed fraction; age = time since the block's newest page.
+    utilization = 1.0 - (reclaimable / pages)
+    newest = max(
+        (page.written_at for page in block.pages
+         if page.state is not PageState.FREE),
+        default=0.0,
+    )
+    age = max(now - newest, 1e-6)
+    if utilization >= 1.0:
+        return 0.0
+    return ((1.0 - utilization) * age) / (2.0 * utilization + 1e-9)
+
+
+def _count_pinned(
+    nand: NandArray, global_block: int, is_pinned: Callable[[int], bool]
+) -> int:
+    block = nand.block(global_block)
+    count = 0
+    for ppa in nand.block_ppa_range(global_block):
+        page = block.pages[ppa % nand.geometry.pages_per_block]
+        if page.state is PageState.INVALID and is_pinned(ppa):
+            count += 1
+    return count

@@ -1,0 +1,22 @@
+"""NAND flash array simulator.
+
+Models the physical substrate SSD-Insider relies on: pages that cannot be
+updated in place, blocks that must be erased as a unit, and the resulting
+*delayed deletion* property — old data stays physically present until garbage
+collection erases it, which is exactly what the recovery algorithm exploits.
+"""
+
+from repro.nand.array import NandArray
+from repro.nand.block import Block, PageState
+from repro.nand.chip import NandChip
+from repro.nand.geometry import NandGeometry
+from repro.nand.latency import NandLatencies
+
+__all__ = [
+    "Block",
+    "NandArray",
+    "NandChip",
+    "NandGeometry",
+    "NandLatencies",
+    "PageState",
+]

@@ -1,0 +1,147 @@
+"""NAND array: the full channel x way grid addressed by flat PPAs.
+
+The FTL talks to this class only through physical page addresses; the array
+translates them to (chip, block, page) per the geometry's layout and keeps
+global operation/latency accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.nand.block import Block, PageInfo, PageState
+from repro.nand.chip import NandChip
+from repro.nand.geometry import NandGeometry
+from repro.nand.latency import NandLatencies
+
+
+@dataclass(frozen=True)
+class WearStats:
+    """Distribution of per-block erase counts."""
+
+    min_erases: int
+    max_erases: int
+    mean_erases: float
+    std_erases: float
+
+    @property
+    def spread(self) -> int:
+        """Max minus min erase count — what wear leveling minimises."""
+        return self.max_erases - self.min_erases
+
+
+class NandArray:
+    """All chips of an SSD behind a flat physical-page-address space."""
+
+    def __init__(
+        self,
+        geometry: Optional[NandGeometry] = None,
+        latencies: Optional[NandLatencies] = None,
+    ) -> None:
+        self.geometry = geometry or NandGeometry.small()
+        self.latencies = latencies or NandLatencies()
+        self._chips: List[NandChip] = [
+            NandChip(self.geometry.blocks_per_chip, self.geometry.pages_per_block)
+            for _ in range(self.geometry.num_chips)
+        ]
+        #: Accumulated simulated NAND busy time in seconds.
+        self.busy_time = 0.0
+
+    # -- block addressing ----------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        """Total erase blocks across all chips."""
+        return self.geometry.blocks_total
+
+    def chip(self, index: int) -> NandChip:
+        """Access a chip by index."""
+        return self._chips[index]
+
+    def block(self, global_block: int) -> Block:
+        """Access an erase block by its global index."""
+        chip_index = global_block // self.geometry.blocks_per_chip
+        block_index = global_block % self.geometry.blocks_per_chip
+        return self._chips[chip_index].block(block_index)
+
+    def block_ppa_range(self, global_block: int) -> range:
+        """The flat PPAs covered by a global block index."""
+        start = global_block * self.geometry.pages_per_block
+        return range(start, start + self.geometry.pages_per_block)
+
+    # -- page operations --------------------------------------------------
+
+    def program(self, global_block: int, lba: int, timestamp: float, payload=None) -> int:
+        """Program the next page of a block; returns the page's flat PPA."""
+        chip_index = global_block // self.geometry.blocks_per_chip
+        block_index = global_block % self.geometry.blocks_per_chip
+        page_index = self._chips[chip_index].program(block_index, lba, timestamp, payload)
+        self.busy_time += self.latencies.page_program
+        return global_block * self.geometry.pages_per_block + page_index
+
+    def read(self, ppa: int) -> PageInfo:
+        """Read a page by flat PPA."""
+        chip_index, block_index, page_index = self.geometry.decompose(ppa)
+        info = self._chips[chip_index].read(block_index, page_index)
+        self.busy_time += self.latencies.page_read
+        return info
+
+    def page_state(self, ppa: int) -> PageState:
+        """State of a page without counting a device read."""
+        chip_index, block_index, page_index = self.geometry.decompose(ppa)
+        return self._chips[chip_index].block(block_index).pages[page_index].state
+
+    def invalidate(self, ppa: int) -> None:
+        """Mark the page at ``ppa`` invalid (superseded)."""
+        chip_index, block_index, page_index = self.geometry.decompose(ppa)
+        self._chips[chip_index].block(block_index).invalidate(page_index)
+
+    def erase(self, global_block: int) -> None:
+        """Erase a global block."""
+        chip_index = global_block // self.geometry.blocks_per_chip
+        block_index = global_block % self.geometry.blocks_per_chip
+        self._chips[chip_index].erase(block_index)
+        self.busy_time += self.latencies.block_erase
+
+    # -- accounting -------------------------------------------------------
+
+    def count_pages(self, state: PageState) -> int:
+        """Count pages in a given state across the whole array."""
+        total = 0
+        for global_block in range(self.num_blocks):
+            block = self.block(global_block)
+            if state is PageState.FREE:
+                total += block.free_pages
+            elif state is PageState.VALID:
+                total += block.valid_count
+            else:
+                total += block.invalid_count
+        return total
+
+    def total_erases(self) -> int:
+        """Total block erases performed so far."""
+        return sum(chip.counters.erases for chip in self._chips)
+
+    def erase_counts(self) -> List[int]:
+        """Per-block erase counts (the wear profile)."""
+        return [
+            self.block(global_block).erase_count
+            for global_block in range(self.num_blocks)
+        ]
+
+    def wear_stats(self) -> "WearStats":
+        """Summary of how evenly wear is spread across blocks."""
+        counts = self.erase_counts()
+        mean = sum(counts) / len(counts)
+        variance = sum((c - mean) ** 2 for c in counts) / len(counts)
+        return WearStats(
+            min_erases=min(counts),
+            max_erases=max(counts),
+            mean_erases=mean,
+            std_erases=variance ** 0.5,
+        )
+
+    def total_programs(self) -> int:
+        """Total page programs performed so far."""
+        return sum(chip.counters.programs for chip in self._chips)

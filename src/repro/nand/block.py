@@ -1,0 +1,141 @@
+"""Erase block model.
+
+A block enforces the two NAND rules the FTL must design around:
+
+* pages are programmed sequentially within a block and never reprogrammed
+  without an erase (out-of-place update), and
+* an erase wipes the whole block at once (delayed deletion of old data).
+
+Each page carries opaque payload plus out-of-band (OOB) metadata — the LBA it
+was written for and the write timestamp — which real FTLs also store in the
+page spare area and which the recovery path uses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import EraseError, ProgramError, ReadError
+
+
+class PageState(enum.Enum):
+    """Lifecycle of a physical page."""
+
+    FREE = "free"        #: erased, programmable
+    VALID = "valid"      #: holds the live copy of some LBA
+    INVALID = "invalid"  #: superseded by a newer write; awaiting erase
+
+
+@dataclass
+class PageInfo:
+    """Out-of-band metadata for one physical page."""
+
+    state: PageState = PageState.FREE
+    lba: Optional[int] = None
+    written_at: float = 0.0
+    payload: Optional[bytes] = None
+
+
+@dataclass
+class Block:
+    """One erase block: a write pointer over ``num_pages`` pages."""
+
+    num_pages: int
+    pages: List[PageInfo] = field(default_factory=list)
+    write_pointer: int = 0
+    erase_count: int = 0
+    valid_count: int = 0
+    #: Worn-out flag: set when an erase fails; the FTL retires the block.
+    is_bad: bool = False
+    #: Fault injection: the next erase attempt fails and marks the block
+    #: bad (how real blocks die — erase/program verify errors).
+    fail_next_erase: bool = False
+    #: Reads served since the last erase.  NAND cells leak charge under
+    #: repeated reads of neighbouring pages (read disturb); firmware must
+    #: rewrite ("scrub") a block before the count crosses the chip's
+    #: tolerated limit.
+    reads_since_erase: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.pages:
+            self.pages = [PageInfo() for _ in range(self.num_pages)]
+
+    @property
+    def is_full(self) -> bool:
+        """True when every page has been programmed since the last erase."""
+        return self.write_pointer >= self.num_pages
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the block is fully erased (nothing programmed)."""
+        return self.write_pointer == 0
+
+    @property
+    def free_pages(self) -> int:
+        """Programmable pages remaining."""
+        return self.num_pages - self.write_pointer
+
+    @property
+    def invalid_count(self) -> int:
+        """Programmed pages that no longer hold live data."""
+        return self.write_pointer - self.valid_count
+
+    def program(self, lba: int, timestamp: float, payload: Optional[bytes] = None) -> int:
+        """Program the next page; returns the page index within the block."""
+        if self.is_full:
+            raise ProgramError(f"block full ({self.num_pages} pages programmed)")
+        index = self.write_pointer
+        page = self.pages[index]
+        page.state = PageState.VALID
+        page.lba = lba
+        page.written_at = timestamp
+        page.payload = payload
+        self.write_pointer += 1
+        self.valid_count += 1
+        return index
+
+    def read(self, page_index: int) -> PageInfo:
+        """Read a programmed page's metadata/payload."""
+        if not (0 <= page_index < self.num_pages):
+            raise ReadError(f"page {page_index} out of range [0, {self.num_pages})")
+        page = self.pages[page_index]
+        if page.state is PageState.FREE:
+            raise ReadError(f"page {page_index} has not been programmed")
+        self.reads_since_erase += 1
+        return page
+
+    def invalidate(self, page_index: int) -> None:
+        """Mark a valid page as superseded."""
+        page = self.pages[page_index]
+        if page.state is not PageState.VALID:
+            raise ProgramError(
+                f"cannot invalidate page {page_index} in state {page.state.value}"
+            )
+        page.state = PageState.INVALID
+        self.valid_count -= 1
+
+    def erase(self) -> None:
+        """Erase the whole block, freeing every page.
+
+        Erasing a block that still holds valid pages is an FTL bug, so it is
+        rejected here rather than silently losing data.  A block whose
+        erase fails (wear-out) raises and becomes permanently bad.
+        """
+        if self.valid_count > 0:
+            raise EraseError(f"block still holds {self.valid_count} valid pages")
+        if self.is_bad:
+            raise EraseError("block is marked bad")
+        if self.fail_next_erase:
+            self.fail_next_erase = False
+            self.is_bad = True
+            raise EraseError("erase verify failed; block has worn out")
+        for page in self.pages:
+            page.state = PageState.FREE
+            page.lba = None
+            page.written_at = 0.0
+            page.payload = None
+        self.write_pointer = 0
+        self.erase_count += 1
+        self.reads_since_erase = 0

@@ -1,0 +1,33 @@
+"""NAND operation latencies.
+
+The paper cites Micron MT29F8G08AAAWP figures: page read ~50 us, page program
+~500 us (its text says "NAND chip latency (50-1000 us)"), and block erase in
+the millisecond range.  These latencies dominate I/O time and are what makes
+the insider's ~150-250 ns software overhead negligible (Fig. 8 analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import MS, US
+
+
+@dataclass(frozen=True)
+class NandLatencies:
+    """Seconds per NAND operation."""
+
+    page_read: float = 50 * US
+    page_program: float = 500 * US
+    block_erase: float = 3 * MS
+
+    def __post_init__(self) -> None:
+        for name in ("page_read", "page_program", "block_erase"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value}")
+
+    def copy_page(self) -> float:
+        """Latency of one GC page copy (read + program)."""
+        return self.page_read + self.page_program

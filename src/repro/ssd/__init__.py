@@ -1,0 +1,37 @@
+"""The simulated SSD: NAND + Insider FTL + in-firmware detector, one facade.
+
+:class:`~repro.ssd.device.SimulatedSSD` is what a host "plugs in": it takes
+block I/O requests, feeds every header to the detector, executes the
+operation through the FTL, locks itself read-only on an alarm (§III-C), and
+recovers by mapping-table rollback on demand.  :mod:`repro.ssd.timing`
+carries the analytic per-operation latency model behind the Fig. 8
+reproduction.
+"""
+
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.harness import DefenseOutcome, run_defense
+from repro.ssd.smart import HostCommand, HostCommandInterface, smart_report
+from repro.ssd.throughput import (
+    ThroughputReport,
+    peak_bandwidth_mib,
+    simulate_throughput,
+)
+from repro.ssd.timing import FirmwareCosts, LatencyModel, TraceProfile, profile_trace
+
+__all__ = [
+    "DefenseOutcome",
+    "FirmwareCosts",
+    "HostCommand",
+    "HostCommandInterface",
+    "LatencyModel",
+    "SSDConfig",
+    "SimulatedSSD",
+    "ThroughputReport",
+    "TraceProfile",
+    "peak_bandwidth_mib",
+    "profile_trace",
+    "run_defense",
+    "simulate_throughput",
+    "smart_report",
+]

@@ -1,0 +1,260 @@
+"""The simulated SSD device: detector-in-the-data-path + recoverable FTL.
+
+Request flow (mirroring the paper's firmware):
+
+1. the request *header* is handed to the detector (payloads are never
+   inspected);
+2. the operation executes through the Insider FTL (out-of-place writes,
+   recovery-queue logging, GC as needed);
+3. if the detector's score crosses the threshold, the device raises the
+   alarm, goes **read-only** — "ignoring all the writes sent to it"
+   (§III-C) — and waits for the host to either :meth:`SimulatedSSD.recover`
+   (mapping-table rollback) or :meth:`SimulatedSSD.dismiss_alarm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.blockdev.request import IOMode, IORequest
+from repro.clock import SimClock
+from repro.core.detector import DetectionEvent, RansomwareDetector
+from repro.core.id3 import DecisionTree
+from repro.errors import DeviceReadOnlyError, RecoveryError, UnmappedReadError
+from repro.ftl.insider import InsiderFTL, RollbackReport
+from repro.nand.array import NandArray
+from repro.ssd.config import SSDConfig
+from repro.units import BLOCK_SIZE
+
+
+@dataclass
+class DeviceStats:
+    """Host-visible operation counters."""
+
+    reads: int = 0
+    writes: int = 0
+    dropped_writes: int = 0
+    unmapped_reads: int = 0
+
+
+class SimulatedSSD:
+    """A NAND array + Insider FTL + in-firmware detector behind one API.
+
+    Args:
+        config: Device configuration (geometry, detector, retention...).
+        tree: Detector tree; defaults to the library's pretrained tree.
+        on_alarm: Host callback for the paper's "ransomware attack alarm"
+            custom command (§III-C footnote 2).
+        strict_read_only: Raise on writes while locked instead of silently
+            dropping them (the paper's firmware ignores them; strict mode
+            helps tests catch unintended writes).
+    """
+
+    def __init__(
+        self,
+        config: Optional[SSDConfig] = None,
+        tree: Optional[DecisionTree] = None,
+        on_alarm: Optional[Callable[[DetectionEvent], None]] = None,
+        strict_read_only: bool = False,
+    ) -> None:
+        self.config = config or SSDConfig.small()
+        self.nand = NandArray(self.config.geometry, self.config.latencies)
+        self.ftl = InsiderFTL(
+            self.nand,
+            op_ratio=self.config.op_ratio,
+            gc_policy=self.config.gc_policy,
+            retention=self.config.retention,
+            queue_capacity=self.config.queue_capacity,
+        )
+        self.detector: Optional[RansomwareDetector] = None
+        if self.config.detector_enabled:
+            self.detector = RansomwareDetector(
+                tree=tree,
+                config=self.config.detector,
+                on_alarm=self._alarm_hook,
+            )
+        self._host_alarm_callback = on_alarm
+        self.strict_read_only = strict_read_only
+        self.clock = SimClock()
+        self.read_only = False
+        self.stats = DeviceStats()
+        self.rollback_reports: List[RollbackReport] = []
+        self.wear_leveler = None
+        if self.config.wear_level is not None:
+            self.wear_leveler = self.ftl.attach_wear_leveling(
+                self.config.wear_level
+            )
+        self.scrubber = None
+        if self.config.scrub is not None:
+            from repro.ftl.scrub import ReadScrubber
+
+            self.scrubber = ReadScrubber(self.ftl, self.config.scrub)
+        self._last_maintenance = 0.0
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def num_lbas(self) -> int:
+        """Logical capacity in 4-KB blocks."""
+        return self.ftl.num_lbas
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Logical capacity in bytes."""
+        return self.num_lbas * BLOCK_SIZE
+
+    @property
+    def alarm_raised(self) -> bool:
+        """True while an unhandled ransomware alarm is pending."""
+        return self.detector is not None and self.detector.alarm_raised
+
+    # -- host I/O interface ------------------------------------------------
+
+    def submit(self, request: IORequest) -> None:
+        """Execute one (possibly multi-block) request from a trace."""
+        self.clock.advance_to(request.time)
+        if self.detector is not None:
+            self.detector.observe(request)
+        for lba in request.lbas():
+            if request.mode is IOMode.READ:
+                self._read_block(lba)
+            else:
+                self._write_block(lba, None)
+
+    def read(self, lba: int, now: Optional[float] = None) -> bytes:
+        """Read one 4-KB block; unmapped blocks read as zeroes."""
+        timestamp = self._stamp(now)
+        if self.detector is not None:
+            self.detector.observe(
+                IORequest(time=timestamp, lba=lba, mode=IOMode.READ)
+            )
+        return self._read_block(lba)
+
+    def write(self, lba: int, payload: Optional[bytes] = None,
+              now: Optional[float] = None) -> None:
+        """Write one 4-KB block (dropped/refused while read-only)."""
+        timestamp = self._stamp(now)
+        if self.detector is not None:
+            self.detector.observe(
+                IORequest(time=timestamp, lba=lba, mode=IOMode.WRITE)
+            )
+        self._write_block(lba, payload)
+
+    def trim(self, lba: int, now: Optional[float] = None) -> None:
+        """Discard one block (used by the filesystem on delete)."""
+        timestamp = self._stamp(now)
+        if self.read_only:
+            if self.strict_read_only:
+                raise DeviceReadOnlyError("device is read-only after an alarm")
+            self.stats.dropped_writes += 1
+            return
+        self.ftl.trim(lba, timestamp)
+
+    def tick(self, now: float) -> None:
+        """Advance time without I/O (lets quiet periods decay the score).
+
+        Background maintenance (read-disturb scrubbing) also runs here —
+        idle time is when firmware does its housekeeping.
+        """
+        self.clock.advance_to(now)
+        if self.detector is not None:
+            self.detector.tick(now)
+        self._maybe_maintain()
+
+    def _maybe_maintain(self) -> None:
+        now = self.clock.now
+        if now - self._last_maintenance < self.config.maintenance_interval:
+            return
+        self._last_maintenance = now
+        if self.scrubber is not None and not self.read_only:
+            self.scrubber.sweep()
+
+    # -- alarm & recovery ---------------------------------------------------
+
+    def recover(self) -> RollbackReport:
+        """Roll the mapping table back one retention window (Fig. 5).
+
+        Returns the rollback report; the device becomes writable again and
+        the detector restarts clean (the paper asks the user to reboot and
+        clean the ransomware; the detector must not keep alarming on the
+        attack it already undid).
+        """
+        if self.detector is not None and not self.detector.alarm_raised:
+            raise RecoveryError("no alarm is pending; nothing to recover from")
+        report = self.ftl.rollback(self.clock.now)
+        self.rollback_reports.append(report)
+        self.read_only = False
+        if self.detector is not None:
+            self.detector.reset()
+        return report
+
+    def power_cycle(self) -> None:
+        """Simulate a power loss and restart.
+
+        DRAM contents vanish; the FTL rebuilds its mapping — and the
+        recovery queue — from the NAND array's out-of-band records, and
+        the detector restarts cold (its counting table held at most one
+        window of transient state anyway).
+        """
+        self.ftl = InsiderFTL.rebuild(
+            self.nand,
+            op_ratio=self.config.op_ratio,
+            gc_policy=self.config.gc_policy,
+            retention=self.config.retention,
+            queue_capacity=self.config.queue_capacity,
+        )
+        if self.wear_leveler is not None:
+            self.wear_leveler = self.ftl.attach_wear_leveling(
+                self.config.wear_level
+            )
+        if self.scrubber is not None:
+            from repro.ftl.scrub import ReadScrubber
+
+            self.scrubber = ReadScrubber(self.ftl, self.config.scrub)
+        if self.detector is not None:
+            self.detector.reset()
+        self.read_only = False
+
+    def dismiss_alarm(self) -> None:
+        """Host says "false alarm": unlock writes, keep the data as is."""
+        self.read_only = False
+        if self.detector is not None:
+            self.detector.reset()
+
+    def _alarm_hook(self, event: DetectionEvent) -> None:
+        self.read_only = True
+        if self._host_alarm_callback is not None:
+            self._host_alarm_callback(event)
+
+    # -- internals -----------------------------------------------------------
+
+    def _stamp(self, now: Optional[float]) -> float:
+        if now is not None:
+            self.clock.advance_to(now)
+        return self.clock.now
+
+    def _read_block(self, lba: int) -> bytes:
+        self.stats.reads += 1
+        try:
+            info = self.ftl.read(lba, self.clock.now)
+        except UnmappedReadError:
+            self.stats.unmapped_reads += 1
+            return bytes(BLOCK_SIZE)
+        if info.payload is None:
+            return bytes(BLOCK_SIZE)
+        return info.payload
+
+    def _write_block(self, lba: int, payload: Optional[bytes]) -> None:
+        if self.read_only:
+            if self.strict_read_only:
+                raise DeviceReadOnlyError("device is read-only after an alarm")
+            self.stats.dropped_writes += 1
+            return
+        # Content-aware models (repro.core.entropy.HybridDetector) sample
+        # write payloads as they stream through the firmware.
+        if self.detector is not None and hasattr(self.detector.tree,
+                                                 "observe_write"):
+            self.detector.tree.observe_write(payload)
+        self.stats.writes += 1
+        self.ftl.write(lba, self.clock.now, payload)

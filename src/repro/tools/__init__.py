@@ -1,0 +1,12 @@
+"""Command-line utilities.
+
+* ``python -m repro.tools.tracegen`` — generate a workload trace file
+  (any Table I combination, or custom pairs) as JSON-lines.
+* ``python -m repro.tools.traceinfo`` — summarise a trace file: request
+  counts, per-source breakdown, overwrite profile.
+* ``python -m repro.tools.detect`` — replay a trace file through the
+  detector and print the score timeline; exits non-zero on alarm, so it
+  composes into shell pipelines.
+* ``python -m repro.tools.defend`` — run a full attack/detect/recover
+  cycle against a simulated device and report the outcome + SMART data.
+"""

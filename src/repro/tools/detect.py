@@ -1,0 +1,68 @@
+"""Replay a trace through the detector.
+
+Example::
+
+    python -m repro.tools.detect attack.jsonl && echo clean || echo ALARM
+
+Exit status: 0 when no alarm fired, 2 on alarm — composable in scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.blockdev.trace import Trace
+from repro.core.config import DetectorConfig
+from repro.core.detector import RansomwareDetector
+from repro.core.id3 import DecisionTree
+from repro.core.pretrained import default_tree
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.detect",
+        description="Run the SSD-Insider detector over a trace file.",
+    )
+    parser.add_argument("trace", help="JSON-lines trace path")
+    parser.add_argument("--tree", default=None,
+                        help="detector tree JSON (default: bundled)")
+    parser.add_argument("--threshold", type=int, default=None,
+                        help="alarm threshold (default: the paper's 3)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-slice timeline")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the detector over the trace; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    if args.threshold is not None:
+        config = DetectorConfig(threshold=args.threshold)
+    else:
+        config = DetectorConfig()
+    tree = DecisionTree.load(args.tree) if args.tree else default_tree()
+    detector = RansomwareDetector(tree=tree, config=config)
+    trace = Trace.load(args.trace)
+    for request in trace:
+        detector.observe(request)
+    detector.tick(trace.end_time + config.slice_duration)
+    if not args.quiet:
+        for event in detector.events:
+            marker = " <- ALARM" if (detector.alarm_event is not None
+                                     and event.slice_index
+                                     == detector.alarm_event.slice_index) else ""
+            print(f"slice {event.slice_index:4d}  verdict {event.verdict}  "
+                  f"score {event.score:2d}{marker}")
+    if detector.alarm_raised:
+        alarm = detector.alarm_event
+        print(f"ALARM at slice {alarm.slice_index} "
+              f"(score {alarm.score} >= {config.threshold})")
+        return 2
+    print("no ransomware activity detected")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Training and evaluation pipeline for the ID3 detector.
+
+:mod:`dataset <repro.train.dataset>` turns scenario runs into per-slice
+labelled feature matrices, :mod:`trainer <repro.train.trainer>` fits the
+ID3 tree on the Table I training matrix, and :mod:`evaluate
+<repro.train.evaluate>` measures FAR/FRR across thresholds the way Fig. 7
+does.
+"""
+
+from repro.train.dataset import Dataset, dataset_from_run, build_dataset
+from repro.train.evaluate import (
+    AccuracyPoint,
+    RunOutcome,
+    evaluate_accuracy,
+    evaluate_run,
+)
+from repro.train.trainer import train_tree, train_from_scenarios
+
+__all__ = [
+    "AccuracyPoint",
+    "Dataset",
+    "RunOutcome",
+    "build_dataset",
+    "dataset_from_run",
+    "evaluate_accuracy",
+    "evaluate_run",
+    "train_from_scenarios",
+    "train_tree",
+]

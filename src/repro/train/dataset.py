@@ -1,0 +1,128 @@
+"""Per-slice labelled feature datasets.
+
+A scenario run is replayed through the detector front-end (counting table +
+sliding window, no tree) to obtain one six-feature row per time slice; the
+run's ground truth labels each slice ransomware-active or not.  Those rows
+are what the ID3 tree trains on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import DetectorConfig
+from repro.core.counting_table import CountingTable
+from repro.core.features import FeatureVector, compute_features
+from repro.core.window import SliceStats, SlidingWindow
+from repro.errors import TrainingError
+from repro.rand import derive_seed
+from repro.workloads.scenario import Scenario, ScenarioRun
+
+
+@dataclass
+class Dataset:
+    """Feature rows plus 0/1 labels."""
+
+    rows: List[List[float]] = field(default_factory=list)
+    labels: List[int] = field(default_factory=list)
+
+    def append(self, features: FeatureVector, label: int) -> None:
+        """Add one slice's observation."""
+        self.rows.append(features.as_list())
+        self.labels.append(int(label))
+
+    def extend(self, other: "Dataset") -> None:
+        """Concatenate another dataset."""
+        self.rows.extend(other.rows)
+        self.labels.extend(other.labels)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def positives(self) -> int:
+        """Ransomware-active rows."""
+        return sum(self.labels)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(X, y)`` numpy views for training."""
+        if not self.rows:
+            raise TrainingError("dataset is empty")
+        return np.asarray(self.rows, dtype=float), np.asarray(self.labels, dtype=int)
+
+
+def extract_feature_series(
+    run: ScenarioRun, config: Optional[DetectorConfig] = None
+) -> List[Tuple[int, FeatureVector]]:
+    """Replay a run through the detector front-end.
+
+    Returns ``(slice_index, features)`` for every closed slice up to the
+    run's duration — the same values Algorithm 1 line 3 would compute.
+    """
+    config = config or DetectorConfig()
+    table = CountingTable()
+    window = SlidingWindow(config.window_slices)
+    series: List[Tuple[int, FeatureVector]] = []
+    current = SliceStats(index=0)
+
+    def close_slice(current: SliceStats) -> SliceStats:
+        window.push(current)
+        series.append((current.index, compute_features(table, window)))
+        next_index = current.index + 1
+        table.expire(next_index - config.window_slices)
+        return SliceStats(index=next_index)
+
+    for request in run.trace:
+        target = int(request.time // config.slice_duration)
+        while current.index < target:
+            current = close_slice(current)
+        for unit in request.split():
+            if unit.is_read:
+                current.rio += 1
+                table.record_read(unit.lba, current.index)
+            else:
+                current.wio += 1
+                if table.record_write(unit.lba, current.index):
+                    current.owio += 1
+                    current.overwritten_lbas.add(unit.lba)
+    final_slice = int(run.duration // config.slice_duration)
+    while current.index < final_slice:
+        current = close_slice(current)
+    return series
+
+
+def dataset_from_run(
+    run: ScenarioRun, config: Optional[DetectorConfig] = None
+) -> Dataset:
+    """Labelled per-slice dataset for one scenario run."""
+    config = config or DetectorConfig()
+    dataset = Dataset()
+    labels = run.slice_labels(config.slice_duration)
+    for slice_index, features in extract_feature_series(run, config):
+        label = labels[slice_index] if slice_index < len(labels) else 0
+        dataset.append(features, label)
+    return dataset
+
+
+def build_dataset(
+    scenarios: Iterable[Scenario],
+    seed: int = 0,
+    num_lbas: int = 120_000,
+    duration: Optional[float] = None,
+    runs_per_scenario: int = 1,
+    config: Optional[DetectorConfig] = None,
+) -> Dataset:
+    """Labelled dataset over many scenarios (the Table I training matrix)."""
+    config = config or DetectorConfig()
+    dataset = Dataset()
+    for scenario in scenarios:
+        for repetition in range(runs_per_scenario):
+            run_seed = derive_seed(seed, "dataset", scenario.name, str(repetition))
+            run = scenario.build(seed=run_seed, num_lbas=num_lbas, duration=duration)
+            dataset.extend(dataset_from_run(run, config))
+    if len(dataset) == 0:
+        raise TrainingError("no scenarios produced any slices")
+    return dataset

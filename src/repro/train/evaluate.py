@@ -1,0 +1,164 @@
+"""FAR/FRR evaluation across score thresholds (the paper's Fig. 7).
+
+The window score does not depend on the alarm threshold, so each run is
+replayed through the detector exactly once; the outcome at every candidate
+threshold is then derived from the recorded per-slice scores:
+
+* **FRR** (false rejection rate): fraction of ransomware runs where the
+  score never reached the threshold while the sample was active — a missed
+  detection.
+* **FAR** (false acceptance rate): fraction of *benign* runs (the same
+  background application without the sample) where the score reached the
+  threshold anyway — a false alarm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import RansomwareDetector
+from repro.core.id3 import DecisionTree
+from repro.rand import derive_seed
+from repro.workloads.scenario import Scenario, ScenarioRun
+
+
+@dataclass
+class RunOutcome:
+    """Per-slice scores of one replayed run, plus ground truth."""
+
+    scenario: str
+    category: str
+    has_ransomware: bool
+    onset: Optional[float]
+    #: (slice_index, score) for every closed slice.
+    scores: List
+    #: Slices during which the sample was actually issuing I/O (plus the
+    #: trailing window where its verdicts still influence the score).
+    active_slices: frozenset
+
+    def detected_at(self, threshold: int) -> bool:
+        """True when the score reached ``threshold`` during activity."""
+        return any(
+            score >= threshold and index in self.active_slices
+            for index, score in self.scores
+        )
+
+    def alarmed_at(self, threshold: int) -> bool:
+        """True when the score reached ``threshold`` at any point."""
+        return any(score >= threshold for _, score in self.scores)
+
+    def detection_latency(self, threshold: int) -> Optional[float]:
+        """Seconds from onset to the first in-activity alarm, or None."""
+        if self.onset is None:
+            return None
+        for index, score in self.scores:
+            if score >= threshold and index in self.active_slices:
+                return max(0.0, (index + 1) - self.onset)
+        return None
+
+
+@dataclass(frozen=True)
+class AccuracyPoint:
+    """One Fig. 7 data point: FAR and FRR at one threshold."""
+
+    threshold: int
+    far: float
+    frr: float
+    far_runs: int
+    frr_runs: int
+
+
+def evaluate_run(
+    run: ScenarioRun,
+    tree: DecisionTree,
+    config: Optional[DetectorConfig] = None,
+) -> RunOutcome:
+    """Replay one run through the detector and record per-slice scores."""
+    config = config or DetectorConfig()
+    detector = RansomwareDetector(tree=tree, config=config, keep_history=True)
+    for request in run.trace:
+        detector.observe(request)
+    detector.tick(run.duration)
+    scores = [(event.slice_index, event.score) for event in detector.events]
+    if run.active_slices:
+        last_active = max(run.active_slices)
+        trailing = set(range(last_active + 1, last_active + config.window_slices + 1))
+        active = frozenset(run.active_slices | trailing)
+    else:
+        active = frozenset()
+    return RunOutcome(
+        scenario=run.name,
+        category=run.category,
+        has_ransomware=run.has_ransomware,
+        onset=run.onset,
+        scores=scores,
+        active_slices=active,
+    )
+
+
+def evaluate_accuracy(
+    scenarios: Iterable[Scenario],
+    tree: DecisionTree,
+    thresholds: Sequence[int] = tuple(range(1, 11)),
+    repetitions: int = 5,
+    seed: int = 0,
+    num_lbas: int = 120_000,
+    duration: Optional[float] = None,
+    config: Optional[DetectorConfig] = None,
+) -> Dict[str, List[AccuracyPoint]]:
+    """FAR/FRR per background category across thresholds (Fig. 7 panels).
+
+    Each scenario is replayed ``repetitions`` times with the sample (for
+    FRR) and, when it has a background app, once more per repetition
+    without the sample (for FAR).
+    """
+    config = config or DetectorConfig()
+    outcomes: List[RunOutcome] = []
+    for scenario in scenarios:
+        for repetition in range(repetitions):
+            run_seed = derive_seed(seed, "eval", scenario.name, str(repetition))
+            if scenario.ransomware is not None:
+                run = scenario.build(
+                    seed=run_seed, num_lbas=num_lbas, duration=duration
+                )
+                outcomes.append(evaluate_run(run, tree, config))
+            if scenario.app is not None:
+                benign = scenario.build(
+                    seed=run_seed,
+                    num_lbas=num_lbas,
+                    duration=duration,
+                    include_ransomware=False,
+                )
+                outcomes.append(evaluate_run(benign, tree, config))
+    return summarize_outcomes(outcomes, thresholds)
+
+
+def summarize_outcomes(
+    outcomes: Sequence[RunOutcome], thresholds: Sequence[int]
+) -> Dict[str, List[AccuracyPoint]]:
+    """Aggregate run outcomes into per-category FAR/FRR curves."""
+    categories = sorted({outcome.category for outcome in outcomes})
+    result: Dict[str, List[AccuracyPoint]] = {}
+    for category in categories:
+        members = [o for o in outcomes if o.category == category]
+        ransom_runs = [o for o in members if o.has_ransomware]
+        benign_runs = [o for o in members if not o.has_ransomware]
+        points = []
+        for threshold in thresholds:
+            missed = sum(1 for o in ransom_runs if not o.detected_at(threshold))
+            false = sum(1 for o in benign_runs if o.alarmed_at(threshold))
+            frr = missed / len(ransom_runs) if ransom_runs else 0.0
+            far = false / len(benign_runs) if benign_runs else 0.0
+            points.append(
+                AccuracyPoint(
+                    threshold=threshold,
+                    far=far,
+                    frr=frr,
+                    far_runs=len(benign_runs),
+                    frr_runs=len(ransom_runs),
+                )
+            )
+        result[category] = points
+    return result

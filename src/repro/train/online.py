@@ -1,0 +1,126 @@
+"""Online feedback loop: learn from the user's alarm decisions.
+
+The paper's deployment asks the user to confirm every alarm (§III-C).
+Each answer is a free label: a dismissal says the window's slices were
+benign; an approval says they were malicious.  This module accumulates
+that feedback and periodically refits the tree on the original training
+matrix *plus* the feedback — the practical mechanism for driving the
+paper's residual heavy-overwrite FAR toward zero on a user's actual
+workload mix.
+
+The refit is a full ID3 retrain (firmware would ship the new table on the
+next maintenance window); feedback rows are replicated ``feedback_weight``
+times so a handful of user answers can outweigh thousands of synthetic
+slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import DetectionEvent, RansomwareDetector
+from repro.core.id3 import DecisionTree
+from repro.errors import TrainingError
+from repro.train.dataset import Dataset
+
+
+@dataclass
+class FeedbackBuffer:
+    """Labelled slices harvested from user alarm decisions."""
+
+    rows: List[List[float]] = field(default_factory=list)
+    labels: List[int] = field(default_factory=list)
+    dismissals: int = 0
+    confirmations: int = 0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def add_dismissal(self, events: Sequence[DetectionEvent]) -> None:
+        """The user said "false alarm": the window's positive slices were
+        benign."""
+        self.dismissals += 1
+        for event in events:
+            if event.verdict == 1:
+                self.rows.append(event.features.as_list())
+                self.labels.append(0)
+
+    def add_confirmation(self, events: Sequence[DetectionEvent]) -> None:
+        """The user approved recovery: the window really was an attack."""
+        self.confirmations += 1
+        for event in events:
+            self.rows.append(event.features.as_list())
+            self.labels.append(1)
+
+
+class OnlineTrainer:
+    """Wraps a base dataset and refits the tree as feedback arrives.
+
+    Args:
+        base_dataset: The Table I training matrix (never discarded —
+            feedback refines it, it must not wash it out entirely).
+        config: Detector parameters (tree depth).
+        feedback_weight: Replication factor for feedback rows.
+        refit_after: Refit once this many new feedback rows accumulate.
+    """
+
+    def __init__(
+        self,
+        base_dataset: Dataset,
+        config: Optional[DetectorConfig] = None,
+        feedback_weight: int = 25,
+        refit_after: int = 5,
+    ) -> None:
+        if len(base_dataset) == 0:
+            raise TrainingError("base dataset must not be empty")
+        if feedback_weight < 1:
+            raise TrainingError("feedback_weight must be >= 1")
+        if refit_after < 1:
+            raise TrainingError("refit_after must be >= 1")
+        self.base_dataset = base_dataset
+        self.config = config or DetectorConfig()
+        self.feedback_weight = feedback_weight
+        self.refit_after = refit_after
+        self.buffer = FeedbackBuffer()
+        self.refits = 0
+        self._pending = 0
+
+    def record_dismissal(self, detector: RansomwareDetector) -> Optional[DecisionTree]:
+        """Harvest a dismissed alarm's window; refit when due."""
+        events = self._window_events(detector)
+        before = len(self.buffer)
+        self.buffer.add_dismissal(events)
+        self._pending += len(self.buffer) - before
+        return self._maybe_refit()
+
+    def record_confirmation(self, detector: RansomwareDetector) -> Optional[DecisionTree]:
+        """Harvest a confirmed attack's window; refit when due."""
+        events = self._window_events(detector)
+        before = len(self.buffer)
+        self.buffer.add_confirmation(events)
+        self._pending += len(self.buffer) - before
+        return self._maybe_refit()
+
+    def refit(self) -> DecisionTree:
+        """Retrain now on base data + weighted feedback."""
+        rows = list(self.base_dataset.rows)
+        labels = list(self.base_dataset.labels)
+        for row, label in zip(self.buffer.rows, self.buffer.labels):
+            rows.extend([row] * self.feedback_weight)
+            labels.extend([label] * self.feedback_weight)
+        tree = DecisionTree(max_depth=self.config.max_tree_depth)
+        tree.fit(rows, labels)
+        self.refits += 1
+        self._pending = 0
+        return tree
+
+    def _maybe_refit(self) -> Optional[DecisionTree]:
+        if self._pending >= self.refit_after:
+            return self.refit()
+        return None
+
+    def _window_events(self, detector: RansomwareDetector) -> List[DetectionEvent]:
+        window = detector.config.window_slices
+        return detector.events[-window:]

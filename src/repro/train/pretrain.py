@@ -1,0 +1,37 @@
+"""Regenerate the bundled pretrained detector tree.
+
+Run:  python -m repro.train.pretrain [candidates]
+
+Trains several ID3 candidates on the Table I training matrix, selects the
+best against the stress-validation suite (training samples only, including
+artificially slowed variants), and writes the winner to
+``repro/core/pretrained_tree.json``.  Takes a few minutes.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.pretrained import PRETRAINED_PATH, clear_cache
+from repro.rand import DEFAULT_SEED
+from repro.train.trainer import train_validated_tree
+from repro.workloads.catalog import training_scenarios
+
+
+def main(candidates: int = 8) -> None:
+    """Train, select, and persist the default tree."""
+    tree, scores = train_validated_tree(
+        training_scenarios(), seed=DEFAULT_SEED, candidates=candidates
+    )
+    print("candidate validation scores (lower is better):")
+    for index, score in enumerate(scores):
+        marker = " <- selected" if score == min(scores) else ""
+        print(f"  candidate {index}: {score:.3f}{marker}")
+    tree.save(PRETRAINED_PATH)
+    clear_cache()
+    print(f"\nwrote {PRETRAINED_PATH}")
+    print(tree.describe())
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

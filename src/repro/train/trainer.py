@@ -1,0 +1,176 @@
+"""Fit the ID3 tree on scenario data.
+
+Two entry points:
+
+* :func:`train_from_scenarios` — one greedy ID3 fit, exactly the paper's
+  procedure.
+* :func:`train_validated_tree` — the release procedure behind the bundled
+  pretrained tree: fit several candidates on independently-seeded
+  datasets, score each on *fresh validation runs of the training
+  scenarios* (run-level FAR/FRR at the operating threshold — the testing
+  matrix is never touched), and keep the best.  A single greedy tree's
+  quality varies noticeably with the sampled training runs; validated
+  selection removes that variance without departing from the paper's
+  single-binary-tree deployment artefact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import DetectorConfig
+from repro.core.id3 import DecisionTree
+from repro.rand import derive_seed
+from repro.train.dataset import Dataset, build_dataset
+from repro.workloads.scenario import Scenario
+
+
+def train_tree(
+    dataset: Dataset, config: Optional[DetectorConfig] = None
+) -> DecisionTree:
+    """Train an ID3 tree on a prepared dataset."""
+    config = config or DetectorConfig()
+    features, labels = dataset.as_arrays()
+    tree = DecisionTree(max_depth=config.max_tree_depth)
+    return tree.fit(features, labels)
+
+
+def train_from_scenarios(
+    scenarios: Iterable[Scenario],
+    seed: int = 0,
+    num_lbas: int = 120_000,
+    duration: Optional[float] = None,
+    runs_per_scenario: int = 1,
+    config: Optional[DetectorConfig] = None,
+) -> DecisionTree:
+    """Build the dataset from scenarios and train in one step."""
+    dataset = build_dataset(
+        scenarios,
+        seed=seed,
+        num_lbas=num_lbas,
+        duration=duration,
+        runs_per_scenario=runs_per_scenario,
+        config=config,
+    )
+    return train_tree(dataset, config)
+
+
+def stress_validation_suite(
+    scenarios: Sequence[Scenario], slowdowns: Sequence[float] = (2.5, 4.0)
+) -> List[Scenario]:
+    """Training scenarios plus slowed-sample stress variants.
+
+    Unknown samples can be much slower than anything in the training set
+    (the paper's Jaff/CryptoShield are); slowing the *training* samples
+    probes exactly that regime without ever touching test data.
+    """
+    import dataclasses
+
+    suite = list(scenarios)
+    for scenario in scenarios:
+        if scenario.ransomware is None:
+            continue
+        for slowdown in slowdowns:
+            suite.append(
+                dataclasses.replace(
+                    scenario,
+                    name=f"{scenario.name}-slow{slowdown:g}",
+                    extra_slowdown=slowdown,
+                )
+            )
+    return suite
+
+
+def validation_score(
+    tree: DecisionTree,
+    scenarios: Sequence[Scenario],
+    seed: int,
+    duration: float = 60.0,
+    repetitions: int = 1,
+    config: Optional[DetectorConfig] = None,
+) -> float:
+    """Run-level badness of a tree on fresh runs of ``scenarios``.
+
+    The score is missed detections plus false alarms at the operating
+    threshold, plus a small tiebreak on detection latency — lower is
+    better.
+    """
+    from repro.train.evaluate import evaluate_run
+
+    config = config or DetectorConfig()
+    badness = 0.0
+    latency_total = 0.0
+    for scenario in scenarios:
+        for repetition in range(repetitions):
+            run_seed = derive_seed(seed, "validate", scenario.name, str(repetition))
+            if scenario.ransomware is not None:
+                run = scenario.build(seed=run_seed, duration=duration)
+                outcome = evaluate_run(run, tree, config)
+                latency = outcome.detection_latency(config.threshold)
+                if latency is None:
+                    badness += 1.0
+                else:
+                    latency_total += latency
+                # Margin term: prefer trees that clear the threshold with
+                # room to spare — the margin is what survives when an
+                # unknown sample runs slower than anything validated here.
+                peak = max(
+                    (score for index, score in outcome.scores
+                     if index in outcome.active_slices),
+                    default=0,
+                )
+                shortfall = max(0, config.window_slices - peak)
+                badness += 0.02 * shortfall
+            if scenario.app is not None:
+                benign = scenario.build(
+                    seed=run_seed, duration=duration, include_ransomware=False
+                )
+                outcome = evaluate_run(benign, tree, config)
+                if outcome.alarmed_at(config.threshold):
+                    badness += 1.0
+                # Symmetric margin: benign runs should stay far below the
+                # threshold, not hover just under it.
+                benign_peak = max((s for _, s in outcome.scores), default=0)
+                badness += 0.02 * max(0, benign_peak - (config.threshold - 2))
+    return badness + latency_total * 1e-3
+
+
+def train_validated_tree(
+    scenarios: Sequence[Scenario],
+    seed: int = 0,
+    candidates: int = 4,
+    duration: float = 60.0,
+    runs_per_scenario: int = 3,
+    validation_repetitions: int = 1,
+    config: Optional[DetectorConfig] = None,
+) -> Tuple[DecisionTree, List[float]]:
+    """Train ``candidates`` trees and keep the best-validating one.
+
+    Returns ``(best_tree, per_candidate_scores)``.
+    """
+    config = config or DetectorConfig()
+    scenarios = list(scenarios)
+    best_tree: Optional[DecisionTree] = None
+    scores: List[float] = []
+    best_score = float("inf")
+    for candidate in range(candidates):
+        tree = train_from_scenarios(
+            scenarios,
+            seed=derive_seed(seed, "candidate", str(candidate)),
+            duration=duration,
+            runs_per_scenario=runs_per_scenario,
+            config=config,
+        )
+        score = validation_score(
+            tree,
+            stress_validation_suite(scenarios),
+            seed=derive_seed(seed, "validation"),
+            duration=duration,
+            repetitions=validation_repetitions,
+            config=config,
+        )
+        scores.append(score)
+        if score < best_score:
+            best_score = score
+            best_tree = tree
+    return best_tree, scores

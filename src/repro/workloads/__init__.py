@@ -1,0 +1,38 @@
+"""Workload generators: ransomware behaviour models and background apps.
+
+Every generator produces a bounded, time-ordered stream of block-I/O request
+headers over its own LBA region — the only thing the in-SSD detector ever
+sees.  :mod:`repro.workloads.scenario` composes one ransomware with one
+background application (with CPU/IO-contention slowdown), and
+:mod:`repro.workloads.catalog` reproduces the paper's Table I train/test
+matrix.
+"""
+
+from repro.workloads.base import LbaRegion, Workload
+from repro.workloads.catalog import (
+    TESTING_SCENARIOS,
+    TRAINING_SCENARIOS,
+    testing_scenarios,
+    training_scenarios,
+)
+from repro.workloads.filespace import FileExtent, FileSpace
+from repro.workloads.ransomware.base import OverwriteClass, Ransomware
+from repro.workloads.ransomware.profiles import RANSOMWARE_PROFILES, make_ransomware
+from repro.workloads.scenario import Scenario, ScenarioRun
+
+__all__ = [
+    "FileExtent",
+    "FileSpace",
+    "LbaRegion",
+    "OverwriteClass",
+    "RANSOMWARE_PROFILES",
+    "Ransomware",
+    "Scenario",
+    "ScenarioRun",
+    "TESTING_SCENARIOS",
+    "TRAINING_SCENARIOS",
+    "Workload",
+    "make_ransomware",
+    "testing_scenarios",
+    "training_scenarios",
+]

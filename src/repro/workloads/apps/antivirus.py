@@ -1,0 +1,64 @@
+"""Anti-virus full-scan workload.
+
+§III-A lists "the operation of anti-virus software" among benign sources
+of elevated I/O.  A full scan is a long, fast, sequential *read* sweep of
+the whole disk plus occasional small quarantine/definition writes — lots
+of I/O, practically no overwrites, so a header-only detector must stay
+silent on it.  Not part of Table I; registered for FAR stress tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.blockdev.request import IOMode, IORequest
+from repro.workloads.base import LbaRegion, Workload
+
+
+class AntivirusApp(Workload):
+    """Full-disk sequential scan + rare quarantine writes."""
+
+    def __init__(
+        self,
+        region: LbaRegion,
+        scan_blocks_per_second: float = 2000.0,
+        quarantine_prob: float = 0.001,
+        name: str = "antivirus",
+        start: float = 0.0,
+        duration: float = 60.0,
+        seed: int = 0,
+        time_scale: float = 1.0,
+    ) -> None:
+        super().__init__(name, region, start, duration, seed, time_scale)
+        self.scan_blocks_per_second = scan_blocks_per_second
+        self.quarantine_prob = quarantine_prob
+        split = max(2, int(region.length * 0.98))
+        self.scan_region = region.sub(0, split)
+        self.quarantine_region = region.sub(split, region.length - split)
+        self._quarantine_cursor = self.quarantine_region.start
+
+    def requests(self) -> Iterator[IORequest]:
+        """Yield the scan's read sweep plus rare quarantine writes."""
+        now = self.start
+        cursor = self.scan_region.start
+        while True:
+            length = min(16, self.scan_region.end - cursor)
+            now += (length / self.scan_blocks_per_second) * self.time_scale
+            if now >= self.deadline:
+                return
+            yield self._request(now, cursor, IOMode.READ, length)
+            if self.rng.random() < self.quarantine_prob:
+                # An infected file is copied into quarantine: a small
+                # fresh write plus a log append.
+                size = int(self.rng.integers(1, 9))
+                size = min(size,
+                           self.quarantine_region.end - self._quarantine_cursor)
+                if size > 0:
+                    yield self._request(now, self._quarantine_cursor,
+                                        IOMode.WRITE, size)
+                    self._quarantine_cursor += size
+                if self._quarantine_cursor >= self.quarantine_region.end - 1:
+                    self._quarantine_cursor = self.quarantine_region.start
+            cursor += length
+            if cursor >= self.scan_region.end:
+                cursor = self.scan_region.start

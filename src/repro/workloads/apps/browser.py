@@ -1,0 +1,63 @@
+"""Web-browsing workload (the paper's Chrome scenario).
+
+Browsers write small cache entries continuously and keep history/cookie
+SQLite databases that take frequent single-page read-modify-writes.  The
+paper lists "temporary file creation for web browsing" among the benign
+sources of overwrites (§III-A); the volume is small and scattered.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.blockdev.request import IOMode, IORequest
+from repro.workloads.base import LbaRegion, Workload
+
+
+class BrowserApp(Workload):
+    """Cache writes + SQLite page updates in page-load bursts."""
+
+    def __init__(
+        self,
+        region: LbaRegion,
+        page_loads_per_second: float = 0.8,
+        cache_blocks_per_load: int = 12,
+        name: str = "websurfing",
+        start: float = 0.0,
+        duration: float = 60.0,
+        seed: int = 0,
+        time_scale: float = 1.0,
+    ) -> None:
+        super().__init__(name, region, start, duration, seed, time_scale)
+        self.page_loads_per_second = page_loads_per_second
+        self.cache_blocks_per_load = cache_blocks_per_load
+        split = max(2, int(region.length * 0.9))
+        self.cache_region = region.sub(0, split)
+        self.db_region = region.sub(split, region.length - split)
+
+    def requests(self) -> Iterator[IORequest]:
+        """Yield page-load bursts: cache fills and SQLite updates."""
+        now = self.start
+        cache_cursor = self.cache_region.start
+        while True:
+            now += self._gap(self.page_loads_per_second)
+            if now >= self.deadline:
+                return
+            # Cache fill: a handful of small fresh writes.
+            blocks = int(self.rng.integers(2, self.cache_blocks_per_load + 1))
+            for _ in range(blocks):
+                length = self._clip_cache(cache_cursor, int(self.rng.integers(1, 4)))
+                yield self._request(now, cache_cursor, IOMode.WRITE, length)
+                cache_cursor += length
+                if cache_cursor >= self.cache_region.end:
+                    cache_cursor = self.cache_region.start
+            # History/cookies: a couple of SQLite page updates.
+            for _ in range(int(self.rng.integers(1, 4))):
+                page = self.db_region.start + int(
+                    self.rng.integers(0, self.db_region.length)
+                )
+                yield self._request(now, page, IOMode.READ, 1)
+                yield self._request(now, page, IOMode.WRITE, 1)
+
+    def _clip_cache(self, cursor: int, length: int) -> int:
+        return max(1, min(length, self.cache_region.end - cursor))

@@ -1,0 +1,94 @@
+"""Cloud-storage synchronisation workload (the paper's Dropbox scenario).
+
+Sync clients work in bursts: a batch of changed files arrives, each is
+written out-of-place (download to temp, rename), and the client's local
+metadata database takes a few in-place updates.  Between bursts the disk is
+quiet.  Overwrite volume is moderate — high enough to show up in Fig. 1b's
+cumulative curves, far below ransomware's.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.blockdev.request import IOMode, IORequest
+from repro.workloads.base import LbaRegion, Workload
+from repro.workloads.filespace import FileSpace
+
+
+class CloudStorageApp(Workload):
+    """Bursty file sync + metadata-db updates.
+
+    Args:
+        burst_rate_per_s: Average sync-burst arrival rate.
+        files_per_burst: Files updated per burst.
+        update_in_place_prob: Chance a file update rewrites the original
+            extent (an overwrite run) instead of landing out-of-place.
+    """
+
+    def __init__(
+        self,
+        region: LbaRegion,
+        burst_rate_per_s: float = 0.5,
+        files_per_burst: int = 6,
+        update_in_place_prob: float = 0.3,
+        blocks_per_second: float = 450.0,
+        name: str = "cloudstorage",
+        start: float = 0.0,
+        duration: float = 60.0,
+        seed: int = 0,
+        time_scale: float = 1.0,
+    ) -> None:
+        super().__init__(name, region, start, duration, seed, time_scale)
+        self.burst_rate_per_s = burst_rate_per_s
+        self.files_per_burst = files_per_burst
+        self.update_in_place_prob = update_in_place_prob
+        self.blocks_per_second = blocks_per_second
+        sync_blocks = max(2, int(region.length * 0.7))
+        self.sync_space = FileSpace(region.sub(0, sync_blocks), self.rng, mean_blocks=12)
+        self.temp_region = region.sub(sync_blocks, region.length - sync_blocks)
+
+    def requests(self) -> Iterator[IORequest]:
+        """Yield sync bursts: reads, new versions, metadata updates."""
+        now = self.start
+        temp_cursor = self.temp_region.start
+        while True:
+            now += self._gap(self.burst_rate_per_s)
+            if now >= self.deadline:
+                return
+            for _ in range(int(self.rng.integers(1, self.files_per_burst + 1))):
+                extent = self.sync_space.sample(self.rng)
+                in_place = self.rng.random() < self.update_in_place_prob
+                # The client reads the current version to delta-compare...
+                for lba, length in _chunks(extent.start_lba, extent.length, 8):
+                    now += length / self.blocks_per_second * self.time_scale
+                    if now >= self.deadline:
+                        return
+                    yield self._request(now, lba, IOMode.READ, length)
+                # ...then writes the new version.
+                if in_place:
+                    target, target_len = extent.start_lba, extent.length
+                else:
+                    target_len = min(extent.length, self.temp_region.end - temp_cursor)
+                    target = temp_cursor
+                    temp_cursor += target_len
+                    if temp_cursor >= self.temp_region.end - 1:
+                        temp_cursor = self.temp_region.start
+                for lba, length in _chunks(target, max(1, target_len), 8):
+                    now += length / self.blocks_per_second * self.time_scale
+                    if now >= self.deadline:
+                        return
+                    yield self._request(now, lba, IOMode.WRITE, length)
+                # Metadata DB: read-modify-write of one hot block.
+                meta = self.temp_region.end - 1
+                yield self._request(now, meta, IOMode.READ)
+                yield self._request(now, meta, IOMode.WRITE)
+
+
+def _chunks(start_lba: int, length: int, chunk: int):
+    cursor = start_lba
+    end = start_lba + length
+    while cursor < end:
+        size = min(chunk, end - cursor)
+        yield cursor, size
+        cursor += size

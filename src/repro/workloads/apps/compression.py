@@ -1,0 +1,68 @@
+"""Archive-compression workload (the paper's Bandizip scenario).
+
+CPU-intensive with a simple I/O shape: read source files sequentially, emit
+the (smaller) archive sequentially to fresh blocks, occasionally seeking
+back to patch the archive header.  Almost no overwrites — compression's
+high *entropy output* confuses content-based detectors (§II-A), but not a
+header-only one.  Its main effect in the paper is slowing co-running
+ransomware (it backs the Mole test scenario of Table I).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.blockdev.request import IOMode, IORequest
+from repro.workloads.base import LbaRegion, Workload
+from repro.workloads.filespace import FileSpace
+
+
+class CompressionApp(Workload):
+    """Sequential read of sources, sequential write of the archive."""
+
+    def __init__(
+        self,
+        region: LbaRegion,
+        read_blocks_per_second: float = 500.0,
+        compression_ratio: float = 0.6,
+        header_patch_prob: float = 0.05,
+        name: str = "compression",
+        start: float = 0.0,
+        duration: float = 60.0,
+        seed: int = 0,
+        time_scale: float = 1.0,
+    ) -> None:
+        super().__init__(name, region, start, duration, seed, time_scale)
+        self.read_blocks_per_second = read_blocks_per_second
+        self.compression_ratio = compression_ratio
+        self.header_patch_prob = header_patch_prob
+        source_blocks = max(2, int(region.length * 0.6))
+        self.sources = FileSpace(region.sub(0, source_blocks), self.rng, mean_blocks=32)
+        self.archive_region = region.sub(source_blocks, region.length - source_blocks)
+
+    def requests(self) -> Iterator[IORequest]:
+        """Yield source reads interleaved with archive writes."""
+        now = self.start
+        archive_cursor = self.archive_region.start
+        archive_head = archive_cursor
+        for extent in self.sources.shuffled(self.rng):
+            emitted = 0.0
+            for lba in range(extent.start_lba, extent.end_lba, 8):
+                length = min(8, extent.end_lba - lba)
+                now += length / self.read_blocks_per_second * self.time_scale
+                if now >= self.deadline:
+                    return
+                yield self._request(now, lba, IOMode.READ, length)
+                emitted += length * self.compression_ratio
+                while emitted >= 8:
+                    write_len = self._clip_length(archive_cursor, 8)
+                    yield self._request(now, archive_cursor, IOMode.WRITE, write_len)
+                    archive_cursor += write_len
+                    if archive_cursor >= self.archive_region.end:
+                        archive_cursor = self.archive_region.start
+                        archive_head = archive_cursor
+                    emitted -= 8
+            # Patch the archive header (a rare, tiny overwrite).
+            if self.rng.random() < self.header_patch_prob:
+                yield self._request(now, archive_head, IOMode.WRITE, 1)
+        # Archive finished before the deadline: the tool exits; stay quiet.

@@ -1,0 +1,85 @@
+"""Disk defragmentation workload.
+
+§III-A names defragmentation (with data wiping and DB updates) among the
+benign workloads that overwrite heavily — and explains that AVGWIO is what
+separates them: a defragmenter moves *long contiguous runs* (it reads a
+fragmented file and rewrites it compacted), so its overwritten runs are
+far longer than ransomware's file-sized ones.  Not part of Table I, but
+registered so custom scenarios and FAR tests can exercise it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.blockdev.request import IOMode, IORequest
+from repro.workloads.base import LbaRegion, Workload
+
+
+class DefragApp(Workload):
+    """Move fragmented extents into a compact area, run by run.
+
+    Each pass reads a long fragmented extent and rewrites it at the
+    compaction cursor; the vacated source area is later reused (an
+    overwrite of previously *read* blocks — the behaviour that makes
+    defragmentation AVGWIO-heavy).
+    """
+
+    def __init__(
+        self,
+        region: LbaRegion,
+        blocks_per_second: float = 900.0,
+        extent_blocks: int = 192,
+        chunk_blocks: int = 16,
+        name: str = "defrag",
+        start: float = 0.0,
+        duration: float = 60.0,
+        seed: int = 0,
+        time_scale: float = 1.0,
+    ) -> None:
+        super().__init__(name, region, start, duration, seed, time_scale)
+        self.blocks_per_second = blocks_per_second
+        self.extent_blocks = extent_blocks
+        self.chunk_blocks = chunk_blocks
+
+    def requests(self) -> Iterator[IORequest]:
+        """Yield move passes: long reads then compacted rewrites."""
+        now = self.start
+        source = self.region.start
+        compact = self.region.start
+        while now < self.deadline:
+            extent = min(self.extent_blocks, self.region.end - source)
+            if extent < 1:
+                source = self.region.start
+                continue
+            # Read the fragmented extent...
+            for lba, length in self._chunks(source, extent):
+                now += self._cost(length)
+                if now >= self.deadline:
+                    return
+                yield self._request(now, lba, IOMode.READ, length)
+            # ...and rewrite it compacted.  Compaction trails the read
+            # cursor, so most target blocks were read earlier in the pass:
+            # long overwrite runs, exactly the AVGWIO signature.
+            for lba, length in self._chunks(compact, extent):
+                now += self._cost(length)
+                if now >= self.deadline:
+                    return
+                yield self._request(now, lba, IOMode.WRITE, length)
+            source += extent
+            compact += max(1, extent // 2)  # files shrink when compacted
+            if source >= self.region.end:
+                source = self.region.start
+            if compact >= self.region.end - self.extent_blocks:
+                compact = self.region.start
+
+    def _chunks(self, start_lba: int, length: int):
+        cursor = start_lba
+        end = min(start_lba + length, self.region.end)
+        while cursor < end:
+            chunk = min(self.chunk_blocks, end - cursor)
+            yield cursor, chunk
+            cursor += chunk
+
+    def _cost(self, length: int) -> float:
+        return (length / self.blocks_per_second) * self.time_scale

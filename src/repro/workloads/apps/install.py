@@ -1,0 +1,83 @@
+"""Software-installation workload (the paper's AutoCAD / Visual Studio).
+
+Installers unpack large payloads as fresh sequential writes, but they also
+churn temp files (write, read back, overwrite) and patch configuration and
+registry blocks in place.  That churn generates enough genuine overwrites
+that Install is one of the few backgrounds with non-zero FAR at very low
+thresholds in Fig. 7 — another reason the paper operates at threshold 3.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.blockdev.request import IOMode, IORequest
+from repro.workloads.base import LbaRegion, Workload
+
+
+class InstallApp(Workload):
+    """Payload unpack + temp-file churn + config patching."""
+
+    def __init__(
+        self,
+        region: LbaRegion,
+        unpack_blocks_per_second: float = 700.0,
+        temp_churn_per_second: float = 4.0,
+        config_patch_per_second: float = 6.0,
+        name: str = "install",
+        start: float = 0.0,
+        duration: float = 60.0,
+        seed: int = 0,
+        time_scale: float = 1.0,
+    ) -> None:
+        super().__init__(name, region, start, duration, seed, time_scale)
+        self.unpack_blocks_per_second = unpack_blocks_per_second
+        self.temp_churn_per_second = temp_churn_per_second
+        self.config_patch_per_second = config_patch_per_second
+        split = max(2, int(region.length * 0.8))
+        self.payload_region = region.sub(0, split)
+        self.scratch_region = region.sub(split, region.length - split)
+
+    def requests(self) -> Iterator[IORequest]:
+        """Yield interleaved unpack, temp-churn and config events."""
+        now = self.start
+        payload_cursor = self.payload_region.start
+        events: List[str] = ["unpack", "temp", "config"]
+        # Interleave three event streams by sampling which fires next.
+        rates = {
+            "unpack": self.unpack_blocks_per_second / 8.0,  # 8-block chunks
+            "temp": self.temp_churn_per_second,
+            "config": self.config_patch_per_second,
+        }
+        total_rate = sum(rates.values())
+        weights = [rates[e] / total_rate for e in events]
+        while True:
+            now += self._gap(total_rate)
+            if now >= self.deadline:
+                return
+            event = events[int(self.rng.choice(len(events), p=weights))]
+            if event == "unpack":
+                length = self._clip_payload(payload_cursor, 8)
+                yield self._request(now, payload_cursor, IOMode.WRITE, length)
+                payload_cursor += length
+                if payload_cursor >= self.payload_region.end:
+                    payload_cursor = self.payload_region.start
+            elif event == "temp":
+                # Temp churn: write a few blocks, read them, overwrite them.
+                base = self.scratch_region.start + int(
+                    self.rng.integers(0, max(1, self.scratch_region.length - 4))
+                )
+                length = int(self.rng.integers(1, 5))
+                length = max(1, min(length, self.scratch_region.end - base))
+                yield self._request(now, base, IOMode.WRITE, length)
+                yield self._request(now, base, IOMode.READ, length)
+                yield self._request(now, base, IOMode.WRITE, length)
+            else:
+                # Config/registry patch: read-modify-write of one block.
+                lba = self.scratch_region.end - 1 - int(self.rng.integers(0, 4))
+                lba = max(self.scratch_region.start, lba)
+                yield self._request(now, lba, IOMode.READ, 1)
+                yield self._request(now, lba, IOMode.WRITE, 1)
+
+    def _clip_payload(self, cursor: int, length: int) -> int:
+        return max(1, min(length, self.payload_region.end - cursor))

@@ -1,0 +1,119 @@
+"""I/O stress tools (the paper's IOMeter / DiskMark / HDTunePro scenarios).
+
+Stress tools hammer multi-gigabyte test files with random and sequential
+phases.  In the paper's taxonomy they are the *FRR* risk, not the FAR one:
+their sheer volume slows a co-running ransomware down (dispersing its
+overwrites across the window, which is what PWIO exists for), but they
+produce almost no read-then-overwrite patterns themselves — each test
+pattern runs against its own file/offset range, and the files are so large
+that a write virtually never lands on a block read within the last 10 s.
+
+At simulation scale a shared test region would manufacture collisions a
+real tool never exhibits (our whole region is ~100x smaller than one real
+test file), so each access pattern gets a disjoint quarter of the region —
+which is exactly how the tools behave: separate test files, or separate
+phases separated by minutes.  A small ``collision_rate`` knob reintroduces
+the residual real-world collision probability.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.blockdev.request import IOMode, IORequest
+from repro.errors import WorkloadError
+from repro.workloads.base import LbaRegion, Workload
+
+#: Supported tool personalities and their (write_ratio, sequential_ratio).
+TOOL_MIXES = {
+    "iometer": (0.33, 0.2),
+    "diskmark": (0.5, 0.6),
+    "hdtunepro": (0.25, 0.8),
+}
+
+
+class IoStressApp(Workload):
+    """Random/sequential stress mix with per-pattern test areas.
+
+    Args:
+        tool: One of ``iometer``, ``diskmark``, ``hdtunepro``.
+        ops_per_second: Average request rate.
+        collision_rate: Probability that a write op deliberately targets
+            the random-read area (models the residual chance, on a real
+            multi-gigabyte test file, of writing a recently read block).
+    """
+
+    def __init__(
+        self,
+        region: LbaRegion,
+        tool: str = "iometer",
+        ops_per_second: float = 1000.0,
+        collision_rate: float = 0.01,
+        name: str = "",
+        start: float = 0.0,
+        duration: float = 60.0,
+        seed: int = 0,
+        time_scale: float = 1.0,
+    ) -> None:
+        tool = tool.lower()
+        if tool not in TOOL_MIXES:
+            raise WorkloadError(
+                f"unknown stress tool {tool!r}; known: {sorted(TOOL_MIXES)}"
+            )
+        if not (0.0 <= collision_rate <= 1.0):
+            raise WorkloadError("collision_rate must be in [0, 1]")
+        super().__init__(name or tool, region, start, duration, seed, time_scale)
+        self.tool = tool
+        self.write_ratio, self.sequential_ratio = TOOL_MIXES[tool]
+        self.ops_per_second = ops_per_second
+        self.collision_rate = collision_rate
+        quarter = max(1, region.length // 4)
+        #: Disjoint per-pattern areas: random-read, random-write, seq-read,
+        #: seq-write.
+        self.rand_read_area = region.sub(0, quarter)
+        self.rand_write_area = region.sub(quarter, quarter)
+        self.seq_read_area = region.sub(2 * quarter, quarter)
+        self.seq_write_area = region.sub(3 * quarter, region.length - 3 * quarter)
+        self._seq_read_pos = 0
+        self._seq_write_pos = 0
+
+    def requests(self) -> Iterator[IORequest]:
+        """Yield the tool's random/sequential read-write mix."""
+        now = self.start
+        while True:
+            now += self._gap(self.ops_per_second)
+            if now >= self.deadline:
+                return
+            is_write = self.rng.random() < self.write_ratio
+            mode = IOMode.WRITE if is_write else IOMode.READ
+            if is_write and self.rng.random() < self.collision_rate:
+                # Residual collision: write a block from the random-read
+                # area (possibly read within the window).
+                lba = self.rand_read_area.start + int(
+                    self.rng.integers(0, self.rand_read_area.length)
+                )
+                yield self._request(now, lba, mode, 1)
+                continue
+            if self.rng.random() < self.sequential_ratio:
+                lba, length = self._sequential(mode)
+            else:
+                lba, length = self._random(mode)
+            yield self._request(now, lba, mode, length)
+
+    def _sequential(self, mode: IOMode) -> Tuple[int, int]:
+        if mode is IOMode.READ:
+            area, pos = self.seq_read_area, self._seq_read_pos
+        else:
+            area, pos = self.seq_write_area, self._seq_write_pos
+        length = max(1, min(8, area.length - pos))
+        lba = area.start + pos
+        pos = (pos + length) % area.length
+        if mode is IOMode.READ:
+            self._seq_read_pos = pos
+        else:
+            self._seq_write_pos = pos
+        return lba, length
+
+    def _random(self, mode: IOMode) -> Tuple[int, int]:
+        area = self.rand_read_area if mode is IOMode.READ else self.rand_write_area
+        return area.start + int(self.rng.integers(0, area.length)), 1

@@ -1,0 +1,66 @@
+"""E-mail synchronisation workload (the paper's OutlookSync scenario).
+
+Mail clients keep everything in one big mailbox database (PST/OST); a sync
+pass appends new messages and updates index pages in place — "DB update
+after email synchronization" is the first benign overwrite source §III-A
+names.  The shape is database-like but slower and burstier.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.blockdev.request import IOMode, IORequest
+from repro.workloads.base import LbaRegion, Workload
+
+
+class MailSyncApp(Workload):
+    """Mailbox appends + in-place index updates in sync bursts."""
+
+    def __init__(
+        self,
+        region: LbaRegion,
+        sync_rate_per_s: float = 0.25,
+        messages_per_sync: int = 20,
+        name: str = "outlooksync",
+        start: float = 0.0,
+        duration: float = 60.0,
+        seed: int = 0,
+        time_scale: float = 1.0,
+    ) -> None:
+        super().__init__(name, region, start, duration, seed, time_scale)
+        self.sync_rate_per_s = sync_rate_per_s
+        self.messages_per_sync = messages_per_sync
+        split = max(2, int(region.length * 0.85))
+        self.store_region = region.sub(0, split)
+        self.index_region = region.sub(split, region.length - split)
+
+    def requests(self) -> Iterator[IORequest]:
+        """Yield sync bursts: message appends and index updates."""
+        now = self.start
+        store_cursor = self.store_region.start
+        while True:
+            now += self._gap(self.sync_rate_per_s)
+            if now >= self.deadline:
+                return
+            messages = int(self.rng.integers(1, self.messages_per_sync + 1))
+            for _ in range(messages):
+                # Append the message body (1-8 blocks of fresh data)...
+                length = self._clip_store(store_cursor, int(self.rng.integers(1, 9)))
+                yield self._request(now, store_cursor, IOMode.WRITE, length)
+                store_cursor += length
+                if store_cursor >= self.store_region.end:
+                    store_cursor = self.store_region.start
+                # ...and update 1-2 index pages in place.
+                for _ in range(int(self.rng.integers(1, 3))):
+                    page = self.index_region.start + int(
+                        self.rng.integers(0, self.index_region.length)
+                    )
+                    yield self._request(now, page, IOMode.READ, 1)
+                    yield self._request(now, page, IOMode.WRITE, 1)
+                now += float(self.rng.exponential(0.05)) * self.time_scale
+                if now >= self.deadline:
+                    return
+
+    def _clip_store(self, cursor: int, length: int) -> int:
+        return max(1, min(length, self.store_region.end - cursor))

@@ -1,0 +1,69 @@
+"""OS-update workload (the paper's WindowUpdate scenario).
+
+An OS update downloads packages (fresh sequential writes) and then patches
+installed binaries — read the old file, write the new version over it —
+which is an honest-to-goodness file-sized overwrite run.  That makes OS
+update the benign workload whose per-file behaviour most resembles class-A
+ransomware; what separates it is rate (a handful of files per minute, not
+hundreds per second).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.blockdev.request import IOMode, IORequest
+from repro.workloads.base import LbaRegion, Workload
+from repro.workloads.filespace import FileSpace
+
+
+class OsUpdateApp(Workload):
+    """Package download + slow in-place binary patching."""
+
+    def __init__(
+        self,
+        region: LbaRegion,
+        download_blocks_per_second: float = 300.0,
+        patches_per_minute: float = 8.0,
+        name: str = "windowupdate",
+        start: float = 0.0,
+        duration: float = 60.0,
+        seed: int = 0,
+        time_scale: float = 1.0,
+    ) -> None:
+        super().__init__(name, region, start, duration, seed, time_scale)
+        self.download_blocks_per_second = download_blocks_per_second
+        self.patches_per_minute = patches_per_minute
+        split = max(2, int(region.length * 0.5))
+        self.binaries = FileSpace(region.sub(0, split), self.rng, mean_blocks=24)
+        self.download_region = region.sub(split, region.length - split)
+
+    def requests(self) -> Iterator[IORequest]:
+        """Yield the download stream plus in-place binary patches."""
+        now = self.start
+        download_cursor = self.download_region.start
+        next_patch = now + float(self.rng.exponential(60.0 / self.patches_per_minute))
+        while True:
+            now += self._gap(self.download_blocks_per_second / 8.0)
+            if now >= self.deadline:
+                return
+            if now >= next_patch:
+                # Patch one binary: read it, write the new version in place.
+                extent = self.binaries.sample(self.rng)
+                for lba in range(extent.start_lba, extent.end_lba, 8):
+                    length = min(8, extent.end_lba - lba)
+                    yield self._request(now, lba, IOMode.READ, length)
+                for lba in range(extent.start_lba, extent.end_lba, 8):
+                    length = min(8, extent.end_lba - lba)
+                    yield self._request(now, lba, IOMode.WRITE, length)
+                next_patch = now + float(
+                    self.rng.exponential(60.0 / self.patches_per_minute)
+                ) * self.time_scale
+                continue
+            # Otherwise keep streaming the download.
+            length = self._clip_length(download_cursor, 8)
+            length = min(length, self.download_region.end - download_cursor)
+            yield self._request(now, download_cursor, IOMode.WRITE, max(1, length))
+            download_cursor += max(1, length)
+            if download_cursor >= self.download_region.end:
+                download_cursor = self.download_region.start

@@ -1,0 +1,70 @@
+"""Peer-to-peer download workload (the paper's BitTorrent scenario).
+
+Pieces arrive in random order and are written once to their final offsets;
+completed pieces get a hash-verification read, and the occasional failed
+piece is re-downloaded (a rare genuine overwrite).  Write volume is high
+but almost never *over* previously read blocks, which is why P2P's
+cumulative overwrite curve in Fig. 1b stays near the bottom.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.blockdev.request import IOMode, IORequest
+from repro.workloads.base import LbaRegion, Workload
+
+
+class P2PApp(Workload):
+    """Random-order piece writes + hash-check reads + rare re-downloads."""
+
+    def __init__(
+        self,
+        region: LbaRegion,
+        pieces_per_second: float = 12.0,
+        piece_blocks: int = 16,
+        recheck_fail_prob: float = 0.02,
+        name: str = "p2pdown",
+        start: float = 0.0,
+        duration: float = 60.0,
+        seed: int = 0,
+        time_scale: float = 1.0,
+    ) -> None:
+        super().__init__(name, region, start, duration, seed, time_scale)
+        self.pieces_per_second = pieces_per_second
+        self.piece_blocks = piece_blocks
+        self.recheck_fail_prob = recheck_fail_prob
+        self._piece_order: List[int] = list(
+            range(0, region.length - piece_blocks + 1, piece_blocks)
+        )
+        self.rng.shuffle(self._piece_order)
+        self._next_piece = 0
+
+    def requests(self) -> Iterator[IORequest]:
+        """Yield piece writes, hash-check reads, rare re-downloads."""
+        now = self.start
+        while True:
+            now += self._gap(self.pieces_per_second)
+            if now >= self.deadline:
+                return
+            if self._next_piece >= len(self._piece_order):
+                # Download complete: seed quietly (sparse read traffic).
+                offset = self._piece_order[
+                    int(self.rng.integers(0, len(self._piece_order)))
+                ]
+                yield self._request(
+                    now, self.region.start + offset, IOMode.READ, self.piece_blocks
+                )
+                continue
+            offset = self.region.start + self._piece_order[self._next_piece]
+            self._next_piece += 1
+            for lba in range(offset, offset + self.piece_blocks, 8):
+                length = min(8, offset + self.piece_blocks - lba)
+                yield self._request(now, lba, IOMode.WRITE, length)
+            # Hash check reads the piece back.
+            yield self._request(now, offset, IOMode.READ, self.piece_blocks)
+            if self.rng.random() < self.recheck_fail_prob:
+                # Corrupt piece: re-download (an overwrite of read blocks).
+                for lba in range(offset, offset + self.piece_blocks, 8):
+                    length = min(8, offset + self.piece_blocks - lba)
+                    yield self._request(now, lba, IOMode.WRITE, length)

@@ -1,0 +1,92 @@
+"""Video encode/decode workloads (the paper's PotEncoder / PotPlayer).
+
+Encoding is CPU-bound: slow sequential reads of the source and slower
+sequential writes of the output, no overwrites.  Decoding (playback) is
+pure sequential reading.  Both appear in Table I as CPU-intensive / normal
+backgrounds whose role is to slow ransomware down rather than to confuse
+the overwrite features.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.blockdev.request import IOMode, IORequest
+from repro.workloads.base import LbaRegion, Workload
+
+
+class VideoEncodeApp(Workload):
+    """Sequential transcode: read source, write output out-of-place."""
+
+    def __init__(
+        self,
+        region: LbaRegion,
+        read_blocks_per_second: float = 160.0,
+        output_ratio: float = 0.5,
+        name: str = "videoencode",
+        start: float = 0.0,
+        duration: float = 60.0,
+        seed: int = 0,
+        time_scale: float = 1.0,
+    ) -> None:
+        super().__init__(name, region, start, duration, seed, time_scale)
+        self.read_blocks_per_second = read_blocks_per_second
+        self.output_ratio = output_ratio
+        split = max(2, int(region.length * 0.6))
+        self.source_region = region.sub(0, split)
+        self.output_region = region.sub(split, region.length - split)
+
+    def requests(self) -> Iterator[IORequest]:
+        """Yield transcode reads and out-of-place output writes."""
+        now = self.start
+        read_cursor = self.source_region.start
+        write_cursor = self.output_region.start
+        pending_output = 0.0
+        while True:
+            length = self._clip_length(read_cursor, 8)
+            now += length / self.read_blocks_per_second * self.time_scale
+            if now >= self.deadline:
+                return
+            yield self._request(now, read_cursor, IOMode.READ, length)
+            read_cursor += length
+            if read_cursor >= self.source_region.end:
+                read_cursor = self.source_region.start
+            pending_output += length * self.output_ratio
+            while pending_output >= 8:
+                write_len = min(8, self.output_region.end - write_cursor)
+                yield self._request(now, write_cursor, IOMode.WRITE, write_len)
+                write_cursor += write_len
+                if write_cursor >= self.output_region.end:
+                    write_cursor = self.output_region.start
+                pending_output -= 8
+
+
+class VideoDecodeApp(Workload):
+    """Playback: a steady sequential read stream, nothing else."""
+
+    def __init__(
+        self,
+        region: LbaRegion,
+        read_blocks_per_second: float = 220.0,
+        name: str = "videodecode",
+        start: float = 0.0,
+        duration: float = 60.0,
+        seed: int = 0,
+        time_scale: float = 1.0,
+    ) -> None:
+        super().__init__(name, region, start, duration, seed, time_scale)
+        self.read_blocks_per_second = read_blocks_per_second
+
+    def requests(self) -> Iterator[IORequest]:
+        """Yield the playback read stream."""
+        now = self.start
+        cursor = self.region.start
+        while True:
+            length = self._clip_length(cursor, 8)
+            now += length / self.read_blocks_per_second * self.time_scale
+            if now >= self.deadline:
+                return
+            yield self._request(now, cursor, IOMode.READ, length)
+            cursor += length
+            if cursor >= self.region.end:
+                cursor = self.region.start

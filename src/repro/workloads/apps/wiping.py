@@ -1,0 +1,100 @@
+"""Secure data-wiping workload (the paper's "WPM" satisfying DoD 5220.22-M).
+
+The single hardest benign workload for an overwrite-based detector: a wiper
+overwrites enormous amounts of data at ransomware-like rates.  What saves
+the detector (§III-A, OWST) is that DoD-style wiping makes *seven* write
+passes over each block after one read — so the fraction of *distinct*
+overwritten blocks among all writes is ~1/7, while ransomware's is ~1.
+The run-length feature AVGWIO also separates them: wipes walk very long
+contiguous runs, ransomware walks file-sized ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.blockdev.request import IOMode, IORequest
+from repro.workloads.base import LbaRegion, Workload
+
+#: Write passes per block required by DoD 5220.22-M (as cited in §III-A).
+DOD_PASSES = 7
+
+
+class DataWipingApp(Workload):
+    """Sequential DoD 5220.22-M wiper: read a run once, overwrite it 7x.
+
+    Args:
+        blocks_per_second: Aggregate write throughput of the wiper.
+        run_blocks: Length of each contiguous wipe unit.
+        passes: Write passes per run (DoD: 7).
+    """
+
+    def __init__(
+        self,
+        region: LbaRegion,
+        blocks_per_second: float = 1500.0,
+        run_blocks: int = 64,
+        passes: int = DOD_PASSES,
+        chunk_blocks: int = 16,
+        name: str = "datawiping",
+        start: float = 0.0,
+        duration: float = 60.0,
+        seed: int = 0,
+        time_scale: float = 1.0,
+    ) -> None:
+        super().__init__(name, region, start, duration, seed, time_scale)
+        self.blocks_per_second = blocks_per_second
+        self.run_blocks = run_blocks
+        self.passes = passes
+        self.chunk_blocks = chunk_blocks
+        self._quick_erase_until = float("-inf")
+
+    def requests(self) -> Iterator[IORequest]:
+        """Yield read-then-multi-pass-overwrite wipe runs."""
+        now = self.start
+        cursor = self.region.start
+        while now < self.deadline:
+            # Real wipers mix modes: most runs are long DoD multi-pass
+            # wipes, but quick-erase episodes make a single pass over
+            # file-sized runs — at the block level that is indistinguishable
+            # from in-place ransomware minus the encryption, which is why
+            # data wiping is the paper's FAR-prone background (Fig. 7a,
+            # "only 5% FAR when heavy overwriting ... occurs").
+            if self._quick_erase_until > now:
+                run_len = int(self.rng.integers(8, 33))
+                passes = 1
+            else:
+                if self.rng.random() < 0.04:
+                    self._quick_erase_until = now + float(self.rng.uniform(2.0, 5.0))
+                run_len = self.run_blocks
+                passes = self.passes
+            run_len = min(run_len, self.region.end - cursor)
+            # One verification read pass...
+            for lba, length in self._chunked(cursor, run_len):
+                now += self._cost(length)
+                if now >= self.deadline:
+                    return
+                yield self._request(now, lba, IOMode.READ, length)
+            # ...then the overwrite passes over the same run.
+            for _ in range(passes):
+                for lba, length in self._chunked(cursor, run_len):
+                    now += self._cost(length)
+                    if now >= self.deadline:
+                        return
+                    yield self._request(now, lba, IOMode.WRITE, length)
+            cursor += run_len
+            if cursor >= self.region.end:
+                cursor = self.region.start  # start another wipe cycle
+
+    def _chunked(self, start_lba: int, length: int):
+        cursor = start_lba
+        end = start_lba + length
+        while cursor < end:
+            chunk = min(self.chunk_blocks, end - cursor)
+            yield cursor, chunk
+            cursor += chunk
+
+    def _cost(self, length: int) -> float:
+        return (
+            length / self.blocks_per_second
+        ) * float(self.rng.uniform(0.85, 1.15)) * self.time_scale

@@ -1,0 +1,24 @@
+"""Ransomware behaviour models (header-level).
+
+The detector never sees payloads, so a ransomware *model* only needs to
+reproduce the request-header pattern: read a victim file, then overwrite its
+blocks (in place, out of place, or after deletion) at the sample's
+characteristic speed.  :mod:`profiles <repro.workloads.ransomware.profiles>`
+parameterises the eight real-world samples and the two in-house ones used
+by the paper.
+"""
+
+from repro.workloads.ransomware.base import OverwriteClass, Ransomware
+from repro.workloads.ransomware.profiles import (
+    RANSOMWARE_PROFILES,
+    RansomwareProfile,
+    make_ransomware,
+)
+
+__all__ = [
+    "OverwriteClass",
+    "RANSOMWARE_PROFILES",
+    "Ransomware",
+    "RansomwareProfile",
+    "make_ransomware",
+]

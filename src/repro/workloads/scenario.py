@@ -1,0 +1,175 @@
+"""Scenario composition: one ransomware + one background app, merged.
+
+A :class:`Scenario` describes a Table I combination; :meth:`Scenario.build`
+instantiates both workloads over disjoint LBA sub-regions, applies the
+background's contention slowdown to the ransomware, merges the streams in
+time order, and returns a :class:`ScenarioRun` that knows which slices were
+ransomware-active (the ground truth used for training and for FAR/FRR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.blockdev.mixer import merge_streams
+from repro.blockdev.trace import Trace
+from repro.errors import WorkloadError
+from repro.rand import derive_seed
+from repro.workloads.apps import APP_REGISTRY, NORMAL, AppSpec
+from repro.workloads.base import LbaRegion
+from repro.workloads.ransomware.profiles import make_ransomware
+
+#: Default logical space a scenario spans, in 4-KB blocks.
+DEFAULT_NUM_LBAS = 120_000
+
+#: Default simulated run length in seconds.
+DEFAULT_DURATION = 60.0
+
+#: Default ransomware onset, leaving a benign prefix for FAR measurement.
+DEFAULT_ONSET = 15.0
+
+
+@dataclass
+class ScenarioRun:
+    """A realised scenario: the merged trace plus evaluation ground truth."""
+
+    name: str
+    trace: Trace
+    duration: float
+    ransomware: Optional[str]
+    onset: Optional[float]
+    category: str
+    active_slices: Set[int] = field(default_factory=set)
+
+    def slice_labels(self, slice_duration: float = 1.0) -> List[int]:
+        """Per-slice 0/1 ransomware-activity labels for slices 0..duration."""
+        num_slices = int(self.duration // slice_duration)
+        return [1 if index in self.active_slices else 0 for index in range(num_slices)]
+
+    @property
+    def has_ransomware(self) -> bool:
+        """True when a ransomware stream is part of the run."""
+        return self.ransomware is not None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One Table I combination, before seeding.
+
+    ``extra_slowdown`` multiplies the contention slowdown applied to the
+    sample; the training pipeline uses it to build stress-validation
+    variants ("what if an unknown sample ran N x slower?") from training
+    samples only.
+    """
+
+    name: str
+    ransomware: Optional[str] = None
+    app: Optional[str] = None
+    category: str = NORMAL
+    duration: float = DEFAULT_DURATION
+    onset: float = DEFAULT_ONSET
+    extra_slowdown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.ransomware is None and self.app is None:
+            raise WorkloadError(f"scenario {self.name!r} has no workload at all")
+        if self.app is not None and self.app not in APP_REGISTRY:
+            raise WorkloadError(f"scenario {self.name!r}: unknown app {self.app!r}")
+
+    def app_spec(self) -> Optional[AppSpec]:
+        """Registry entry for the background app, if any."""
+        return APP_REGISTRY[self.app] if self.app is not None else None
+
+    def build(
+        self,
+        seed: int = 0,
+        num_lbas: int = DEFAULT_NUM_LBAS,
+        duration: Optional[float] = None,
+        include_ransomware: bool = True,
+    ) -> ScenarioRun:
+        """Realise the scenario into a merged, labelled trace.
+
+        Args:
+            seed: Root seed; ransomware and app derive independent streams.
+            num_lbas: Logical space to spread the workloads over.
+            duration: Override the scenario's default run length.
+            include_ransomware: Build the benign-only variant when False
+                (used to measure FAR for combinations that include a
+                sample).
+        """
+        run_duration = duration if duration is not None else self.duration
+        streams = []
+        ransomware_name = None
+        onset = None
+        spec = self.app_spec()
+        app_blocks = int(num_lbas * 0.55)
+        if spec is not None:
+            app_seed = derive_seed(seed, self.name, "app")
+            app = spec.factory(
+                LbaRegion(0, max(app_blocks, 2)),
+                start=0.0,
+                duration=run_duration,
+                seed=app_seed,
+            )
+            streams.append(app.requests())
+        if self.ransomware is not None and include_ransomware:
+            slowdown = spec.ransomware_slowdown if spec is not None else 1.0
+            slowdown *= self.extra_slowdown
+            ransom_seed = derive_seed(seed, self.name, "ransomware")
+            ransomware_name = self.ransomware
+            onset = self._draw_onset(seed, run_duration)
+            ransomware = make_ransomware(
+                self.ransomware,
+                LbaRegion(app_blocks, num_lbas - app_blocks),
+                start=onset,
+                duration=run_duration - onset,
+                seed=ransom_seed,
+                time_scale=slowdown,
+            )
+            streams.append(ransomware.requests())
+        trace = Trace(merge_streams(streams))
+        return self._finish(trace, run_duration, ransomware_name, onset)
+
+    def _draw_onset(self, seed: int, run_duration: float) -> float:
+        """Pick when the sample starts, uniformly over the run's middle.
+
+        Randomising the onset matters for training: with a fixed onset the
+        background application would only ever be seen *benign* during its
+        warm-up phase, and its steady-state behaviour would exist in the
+        dataset exclusively under a "ransomware active" label.
+        """
+        from repro.rand import derive_rng
+
+        latest = max(self.onset, run_duration - 15.0)
+        rng = derive_rng(seed, self.name, "onset")
+        onset = float(rng.uniform(self.onset, max(self.onset, latest)))
+        return min(onset, max(1.0, run_duration - 10.0))
+
+    def _finish(
+        self,
+        trace: Trace,
+        run_duration: float,
+        ransomware_name: Optional[str],
+        onset: Optional[float],
+    ) -> ScenarioRun:
+        # A slice counts as ransomware-active when the sample issued a
+        # non-trivial amount of I/O in it.  The floor removes label noise
+        # from boundary slices (the sample's first/last instants, or a
+        # pause) whose features are indistinguishable from benign traffic.
+        per_slice: dict = {}
+        if ransomware_name is not None:
+            for request in trace:
+                if request.source == ransomware_name:
+                    index = int(request.time)
+                    per_slice[index] = per_slice.get(index, 0) + request.length
+        active = {index for index, blocks in per_slice.items() if blocks >= 8}
+        return ScenarioRun(
+            name=self.name,
+            trace=trace,
+            duration=run_duration,
+            ransomware=ransomware_name,
+            onset=onset,
+            category=self.category,
+            active_slices=active,
+        )

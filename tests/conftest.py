@@ -1,0 +1,60 @@
+"""Shared fixtures: tiny geometries and fast detector configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.pretrained import default_tree
+from repro.nand.array import NandArray
+from repro.nand.geometry import NandGeometry
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SimulatedSSD
+
+
+@pytest.fixture
+def tiny_geometry() -> NandGeometry:
+    """1-MiB NAND array: 1 chip, 8 blocks of 32 pages."""
+    return NandGeometry.tiny()
+
+
+@pytest.fixture
+def small_geometry() -> NandGeometry:
+    """64-MiB NAND array."""
+    return NandGeometry.small()
+
+
+@pytest.fixture
+def tiny_nand(tiny_geometry) -> NandArray:
+    """A fresh tiny NAND array."""
+    return NandArray(tiny_geometry)
+
+
+@pytest.fixture
+def small_nand(small_geometry) -> NandArray:
+    """A fresh small NAND array."""
+    return NandArray(small_geometry)
+
+
+@pytest.fixture
+def detector_config() -> DetectorConfig:
+    """The paper's detector parameters."""
+    return DetectorConfig()
+
+
+@pytest.fixture(scope="session")
+def pretrained_tree():
+    """The bundled detector tree (loads from JSON, no training)."""
+    return default_tree()
+
+
+@pytest.fixture
+def tiny_ssd() -> SimulatedSSD:
+    """A detector-less tiny SSD for substrate tests."""
+    return SimulatedSSD(SSDConfig.tiny(detector_enabled=False))
+
+
+@pytest.fixture
+def small_ssd(pretrained_tree) -> SimulatedSSD:
+    """A small SSD with the full detection pipeline."""
+    return SimulatedSSD(SSDConfig.small(), tree=pretrained_tree)

@@ -1,0 +1,45 @@
+"""Simulated clock behaviour."""
+
+import pytest
+
+from repro.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(5.0).now == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimClock(-1.0)
+
+    def test_advance_moves_forward(self):
+        clock = SimClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now == 2.5
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.0)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(1.5)
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to_future(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock(10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+
+    def test_repr_mentions_time(self):
+        assert "3.5" in repr(SimClock(3.5))

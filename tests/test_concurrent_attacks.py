@@ -1,0 +1,73 @@
+"""Concurrent and unusual attack shapes the detector must still catch."""
+
+import pytest
+
+from repro.blockdev.mixer import merge_streams
+from repro.blockdev.trace import Trace
+from repro.train.evaluate import evaluate_run
+from repro.workloads.base import LbaRegion
+from repro.workloads.ransomware.profiles import make_ransomware
+from repro.workloads.scenario import ScenarioRun
+
+
+def run_from_streams(streams, names, duration):
+    trace = Trace(merge_streams(streams))
+    per_slice = {}
+    for request in trace:
+        if request.source in names:
+            index = int(request.time)
+            per_slice[index] = per_slice.get(index, 0) + request.length
+    active = {index for index, blocks in per_slice.items() if blocks >= 8}
+    return ScenarioRun(
+        name="multi", trace=trace, duration=duration,
+        ransomware=names[0], onset=min(active) if active else None,
+        category="multi", active_slices=active,
+    )
+
+
+class TestConcurrentSamples:
+    def test_two_samples_at_once_detected(self, pretrained_tree):
+        """Two different samples attacking disjoint regions concurrently
+        only amplify the signal."""
+        a = make_ransomware("jaff", LbaRegion(0, 50_000), start=12.0,
+                            duration=40.0, seed=1)
+        b = make_ransomware("cryptoshield", LbaRegion(50_000, 50_000),
+                            start=14.0, duration=40.0, seed=2)
+        run = run_from_streams(
+            [a.requests(), b.requests()],
+            ("jaff", "cryptoshield"), duration=55.0,
+        )
+        outcome = evaluate_run(run, pretrained_tree)
+        assert outcome.alarmed_at(3)
+
+    def test_stop_and_go_sample_detected(self, pretrained_tree):
+        """A sample that attacks in 6-second bursts with 6-second pauses:
+        the score decays between bursts but each burst re-accumulates."""
+        bursts = []
+        for index in range(3):
+            start = 10.0 + index * 12.0
+            sample = make_ransomware(
+                "mole", LbaRegion(index * 40_000, 40_000),
+                start=start, duration=6.0, seed=10 + index,
+            )
+            bursts.append(sample.requests())
+        run = run_from_streams(bursts, ("mole",), duration=50.0)
+        outcome = evaluate_run(run, pretrained_tree)
+        assert outcome.alarmed_at(3)
+
+    def test_detection_latency_not_worse_with_two_samples(self, pretrained_tree):
+        solo = make_ransomware("mole", LbaRegion(0, 60_000), start=12.0,
+                               duration=40.0, seed=5)
+        solo_run = run_from_streams([solo.requests()], ("mole",), 55.0)
+        solo_latency = evaluate_run(solo_run, pretrained_tree).detection_latency(3)
+
+        first = make_ransomware("mole", LbaRegion(0, 60_000), start=12.0,
+                                duration=40.0, seed=5)
+        second = make_ransomware("wannacry", LbaRegion(60_000, 50_000),
+                                 start=12.0, duration=40.0, seed=6)
+        both_run = run_from_streams(
+            [first.requests(), second.requests()], ("mole", "wannacry"), 55.0
+        )
+        both_latency = evaluate_run(both_run, pretrained_tree).detection_latency(3)
+        assert both_latency is not None and solo_latency is not None
+        assert both_latency <= solo_latency + 1.0

@@ -1,0 +1,143 @@
+"""Counting table: run-length tracking, overwrite detection, expiry."""
+
+import pytest
+
+from repro.core.counting_table import MAX_RUN_BLOCKS, CountingTable, TableEntry
+
+
+@pytest.fixture
+def table() -> CountingTable:
+    return CountingTable()
+
+
+class TestReads:
+    def test_new_entry(self, table):
+        entry = table.record_read(10, slice_index=0)
+        assert entry.lba == 10 and entry.rl == 1 and entry.wl == 0
+        assert len(table) == 1
+
+    def test_reread_refreshes_time(self, table):
+        table.record_read(10, 0)
+        entry = table.record_read(10, 3)
+        assert entry.slice_index == 3
+        assert len(table) == 1
+
+    def test_extend_right(self, table):
+        table.record_read(10, 0)
+        entry = table.record_read(11, 0)
+        assert entry.lba == 10 and entry.rl == 2
+        assert len(table) == 1
+
+    def test_extend_left(self, table):
+        table.record_read(10, 0)
+        entry = table.record_read(9, 0)
+        assert entry.lba == 9 and entry.rl == 2
+
+    def test_merge_adjacent_runs(self, table):
+        table.record_read(10, 0)
+        table.record_read(12, 0)
+        # Reading 11 bridges the two runs into one (MergeEntry).
+        entry = table.record_read(11, 0)
+        assert entry.lba == 10 and entry.rl == 3
+        assert len(table) == 1
+
+    def test_disjoint_runs_stay_separate(self, table):
+        table.record_read(10, 0)
+        table.record_read(20, 0)
+        assert len(table) == 2
+
+    def test_run_length_capped(self, table):
+        for lba in range(MAX_RUN_BLOCKS + 10):
+            table.record_read(lba, 0)
+        assert all(e.rl <= MAX_RUN_BLOCKS for e in table)
+        assert len(table) >= 2
+
+    def test_hash_entries_track_coverage(self, table):
+        for lba in range(5):
+            table.record_read(lba, 0)
+        assert table.hash_entries == 5
+
+
+class TestWrites:
+    def test_write_untracked_is_not_overwrite(self, table):
+        assert table.record_write(10, 0) is False
+        assert len(table) == 0
+
+    def test_write_after_read_is_overwrite(self, table):
+        table.record_read(10, 0)
+        assert table.record_write(10, 0) is True
+        assert table.entry_for(10).wl == 1
+
+    def test_repeat_overwrites_keep_counting(self, table):
+        """DoD-style wipes overwrite the same block repeatedly; WL (and so
+        OWIO) counts every pass — only OWST de-duplicates."""
+        table.record_read(10, 0)
+        for _ in range(7):
+            table.record_write(10, 0)
+        assert table.entry_for(10).wl == 7
+
+    def test_split_on_mid_run_overwrite(self, table):
+        for lba in range(10, 16):
+            table.record_read(lba, 0)
+        table.record_write(13, 0)
+        left = table.entry_for(10)
+        right = table.entry_for(13)
+        assert left is not right
+        assert left.rl == 3 and left.wl == 0
+        assert right.lba == 13 and right.wl == 1
+
+    def test_sequential_overwrite_accumulates_in_one_entry(self, table):
+        for lba in range(10, 18):
+            table.record_read(lba, 0)
+        for lba in range(10, 18):
+            table.record_write(lba, 0)
+        entry = table.entry_for(10)
+        assert entry.wl == 8
+
+    def test_mean_wl(self, table):
+        table.record_read(0, 0)
+        table.record_read(10, 0)
+        table.record_write(0, 0)
+        table.record_write(0, 0)
+        assert table.mean_wl() == pytest.approx(1.0)  # (2 + 0) / 2
+
+    def test_mean_wl_empty(self, table):
+        assert table.mean_wl() == 0.0
+
+
+class TestExpiry:
+    def test_expire_drops_stale_entries(self, table):
+        table.record_read(10, 0)
+        table.record_read(20, 5)
+        assert table.expire(oldest_live_slice=3) == 1
+        assert table.entry_for(10) is None
+        assert table.entry_for(20) is not None
+
+    def test_expired_lba_no_longer_overwritable(self, table):
+        table.record_read(10, 0)
+        table.expire(oldest_live_slice=5)
+        assert table.record_write(10, 6) is False
+
+    def test_refresh_prevents_expiry(self, table):
+        table.record_read(10, 0)
+        table.record_read(10, 5)
+        assert table.expire(oldest_live_slice=3) == 0
+
+    def test_expire_unindexes_whole_run(self, table):
+        for lba in range(10, 14):
+            table.record_read(lba, 0)
+        table.expire(oldest_live_slice=1)
+        assert table.hash_entries == 0
+
+    def test_clear(self, table):
+        table.record_read(10, 0)
+        table.clear()
+        assert len(table) == 0 and table.hash_entries == 0
+
+
+class TestMemory:
+    def test_memory_accounting(self, table):
+        for lba in range(3):
+            table.record_read(lba, 0)
+        # One entry (merged run of 3) + three hash slots.
+        assert table.memory_bytes() == 3 * 42 + 1 * 12

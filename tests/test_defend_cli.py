@@ -1,0 +1,26 @@
+"""The defend CLI."""
+
+import pytest
+
+from repro.tools import defend
+
+
+class TestDefendCli:
+    def test_fast_sample_perfect_recovery(self, capsys):
+        code = defend.main(["--sample", "wannacry", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ALARM" in out
+        assert "0.0% loss" in out
+        assert "SMART" in out
+
+    def test_no_recover_reports_damage(self, capsys):
+        code = defend.main(["--sample", "mole", "--seed", "4",
+                            "--no-recover"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rollback" not in out
+
+    def test_unknown_sample_rejected(self):
+        with pytest.raises(SystemExit):
+            defend.main(["--sample", "badrabbit"])

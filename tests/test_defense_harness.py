@@ -1,0 +1,64 @@
+"""The one-call defense harness."""
+
+import pytest
+
+from repro.nand.geometry import NandGeometry
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.harness import run_defense
+
+
+def provisioned_device(pretrained_tree) -> SimulatedSSD:
+    return SimulatedSSD(
+        SSDConfig(
+            geometry=NandGeometry(channels=2, ways=4, blocks_per_chip=128,
+                                  pages_per_block=64),
+            queue_capacity=20_000,
+        ),
+        tree=pretrained_tree,
+    )
+
+
+class TestRunDefense:
+    @pytest.fixture(scope="class")
+    def outcome(self, pretrained_tree):
+        return run_defense(provisioned_device(pretrained_tree),
+                           sample="wannacry", user_blocks=15_000, seed=3)
+
+    def test_perfect_recovery(self, outcome):
+        assert outcome.perfect_recovery
+        assert outcome.data_loss_rate == 0.0
+
+    def test_detection_within_window(self, outcome):
+        assert outcome.detection_latency is not None
+        assert outcome.detection_latency <= 10.0
+
+    def test_lockdown_dropped_attack_writes(self, outcome):
+        assert outcome.dropped_writes >= 0
+        assert outcome.attack_requests_served > 0
+
+    def test_rollback_details_present(self, outcome):
+        assert outcome.rollback is not None
+        assert outcome.rollback.mapping_updates > 0
+
+    def test_no_recover_mode_shows_damage(self, pretrained_tree):
+        outcome = run_defense(provisioned_device(pretrained_tree),
+                              sample="mole", user_blocks=15_000, seed=4,
+                              recover=False)
+        assert outcome.alarm_raised
+        assert outcome.rollback is None
+        assert outcome.blocks_corrupted > 0  # the attack's footprint
+
+    def test_detectorless_device_never_alarms(self):
+        device = SimulatedSSD(
+            SSDConfig(
+                geometry=NandGeometry(channels=2, ways=4, blocks_per_chip=128,
+                                      pages_per_block=64),
+                detector_enabled=False,
+            )
+        )
+        outcome = run_defense(device, sample="wannacry", user_blocks=10_000,
+                              attack_duration=20.0, seed=5)
+        assert not outcome.alarm_raised
+        assert outcome.detection_latency is None
+        assert outcome.blocks_corrupted > 0  # nothing protected it

@@ -1,0 +1,157 @@
+"""The real-time detector (Algorithm 1): slices, verdicts, alarms."""
+
+import pytest
+
+from repro.blockdev.request import read, write
+from repro.core.config import DetectorConfig
+from repro.core.detector import RansomwareDetector
+from repro.core.id3 import DecisionTree, TreeNode
+from repro.core.features import FEATURE_NAMES
+
+
+def constant_tree(label: int) -> DecisionTree:
+    tree = DecisionTree()
+    tree.root = TreeNode(label=label)
+    return tree
+
+
+def owio_tree(threshold: float) -> DecisionTree:
+    """Fires when the slice's OWIO exceeds ``threshold``."""
+    tree = DecisionTree()
+    tree.root = TreeNode(
+        feature=FEATURE_NAMES.index("owio"),
+        threshold=threshold,
+        left=TreeNode(label=0),
+        right=TreeNode(label=1),
+    )
+    return tree
+
+
+class TestSliceMechanics:
+    def test_no_slices_before_boundary(self):
+        detector = RansomwareDetector(tree=constant_tree(0))
+        detector.observe(read(0.5, 1))
+        assert detector.events == []
+
+    def test_slice_closes_on_boundary_crossing(self):
+        detector = RansomwareDetector(tree=constant_tree(0))
+        detector.observe(read(0.5, 1))
+        detector.observe(read(1.2, 2))
+        assert len(detector.events) == 1
+        assert detector.events[0].slice_index == 0
+
+    def test_tick_closes_idle_slices(self):
+        detector = RansomwareDetector(tree=constant_tree(0))
+        detector.tick(5.0)
+        assert len(detector.events) == 5
+
+    def test_multi_block_requests_split(self):
+        detector = RansomwareDetector(tree=constant_tree(0))
+        detector.observe(read(0.1, 10, length=4))
+        detector.tick(1.0)
+        assert detector.events[0].features.io == 4
+
+    def test_config_slice_duration(self):
+        config = DetectorConfig(slice_duration=0.5)
+        detector = RansomwareDetector(tree=constant_tree(0), config=config)
+        detector.tick(2.0)
+        assert len(detector.events) == 4
+
+
+class TestOverwriteDetection:
+    def test_read_then_write_counts_overwrite(self):
+        detector = RansomwareDetector(tree=constant_tree(0))
+        detector.observe(read(0.1, 10))
+        detector.observe(write(0.2, 10))
+        detector.tick(1.0)
+        assert detector.events[0].features.owio == 1
+
+    def test_write_without_read_is_not_overwrite(self):
+        detector = RansomwareDetector(tree=constant_tree(0))
+        detector.observe(write(0.2, 10))
+        detector.tick(1.0)
+        assert detector.events[0].features.owio == 0
+
+    def test_overwrite_across_slices_within_window(self):
+        detector = RansomwareDetector(tree=constant_tree(0))
+        detector.observe(read(0.5, 10))
+        detector.observe(write(3.5, 10))
+        detector.tick(4.0)
+        assert detector.events[3].features.owio == 1
+
+    def test_overwrite_outside_window_ignored(self):
+        config = DetectorConfig(window_slices=3, threshold=2)
+        detector = RansomwareDetector(tree=constant_tree(0), config=config)
+        detector.observe(read(0.5, 10))
+        detector.observe(write(8.5, 10))  # read expired 5 slices ago
+        detector.tick(9.0)
+        assert all(e.features.owio == 0 for e in detector.events)
+
+
+class TestAlarm:
+    def test_alarm_fires_at_threshold(self):
+        detector = RansomwareDetector(tree=constant_tree(1))
+        detector.tick(3.0)
+        assert detector.alarm_raised
+        assert detector.alarm_event.score == 3
+        assert detector.alarm_event.slice_index == 2
+
+    def test_alarm_callback_invoked_once(self):
+        calls = []
+        detector = RansomwareDetector(tree=constant_tree(1),
+                                      on_alarm=calls.append)
+        detector.tick(10.0)
+        assert len(calls) == 1
+
+    def test_no_alarm_below_threshold(self):
+        detector = RansomwareDetector(tree=constant_tree(0))
+        detector.tick(60.0)
+        assert not detector.alarm_raised
+
+    def test_alarm_with_behavioural_tree(self):
+        detector = RansomwareDetector(tree=owio_tree(5.0))
+        now = 0.0
+        # Four full seconds of read-then-overwrite at 10 blocks/s: four
+        # positive slices, crossing the threshold (3) at the third.
+        for slice_index in range(4):
+            for i in range(10):
+                lba = slice_index * 10 + i
+                detector.observe(read(now, lba))
+                detector.observe(write(now + 0.01, lba))
+                now += 0.1
+        detector.tick(now + 1.0)
+        assert detector.alarm_raised
+        assert detector.alarm_event.slice_index == 2
+
+    def test_score_decays_when_activity_stops(self):
+        detector = RansomwareDetector(tree=owio_tree(5.0),
+                                      config=DetectorConfig(threshold=9))
+        now = 0.0
+        for slice_index in range(2):
+            for i in range(10):
+                lba = slice_index * 10 + i
+                detector.observe(read(now, lba))
+                detector.observe(write(now + 0.01, lba))
+                now += 0.05
+        detector.tick(30.0)
+        assert not detector.alarm_raised
+        assert detector.score == 0
+
+    def test_reset_clears_alarm_and_state(self):
+        detector = RansomwareDetector(tree=constant_tree(1))
+        detector.tick(5.0)
+        detector.reset()
+        assert not detector.alarm_raised
+        assert detector.score == 0
+        assert len(detector.table) == 0
+
+    def test_keep_history_off(self):
+        detector = RansomwareDetector(tree=constant_tree(0),
+                                      keep_history=False)
+        detector.tick(5.0)
+        assert detector.events == []
+
+    def test_memory_accounting(self):
+        detector = RansomwareDetector(tree=constant_tree(0))
+        detector.observe(read(0.1, 1))
+        assert detector.memory_bytes() == 42 + 12

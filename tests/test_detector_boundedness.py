@@ -1,0 +1,53 @@
+"""The detector's state must stay bounded over long, heavy streams —
+firmware has fixed DRAM (Table III), so unbounded growth is a defect."""
+
+import pytest
+
+from repro.blockdev.request import read, write
+from repro.core.detector import RansomwareDetector
+from repro.core.id3 import DecisionTree, TreeNode
+from repro.rand import derive_rng
+
+
+def constant_tree(label: int) -> DecisionTree:
+    tree = DecisionTree()
+    tree.root = TreeNode(label=label)
+    return tree
+
+
+class TestBoundedness:
+    def test_counting_table_bounded_over_long_heavy_stream(self):
+        """10 simulated minutes of 2000 blk/s random I/O: the table holds
+        at most one window's worth of entries, never the whole history."""
+        detector = RansomwareDetector(tree=constant_tree(0),
+                                      keep_history=False)
+        rng = derive_rng(1, "boundedness")
+        peak_hash = peak_entries = 0
+        now = 0.0
+        for second in range(600):
+            for _ in range(100):  # 100 requests/s, many multi-block
+                lba = int(rng.integers(0, 2_000_000))
+                if rng.random() < 0.6:
+                    detector.observe(read(now, lba, length=8))
+                else:
+                    detector.observe(write(now, lba, length=8))
+                now += 0.01
+            peak_hash = max(peak_hash, detector.table.hash_entries)
+            peak_entries = max(peak_entries, len(detector.table))
+        # One window holds ~ 10s x 480 read blocks/s = ~5k hashed LBAs.
+        assert peak_hash < 60_000
+        assert peak_entries < 60_000
+        # And Table III's provisioning covers the measured peak.
+        assert peak_hash < 250_000
+
+    def test_history_off_keeps_no_events(self):
+        detector = RansomwareDetector(tree=constant_tree(0),
+                                      keep_history=False)
+        detector.tick(600.0)
+        assert detector.events == []
+
+    def test_score_window_never_exceeds_n(self):
+        detector = RansomwareDetector(tree=constant_tree(1),
+                                      keep_history=False)
+        detector.tick(300.0)
+        assert detector.score <= detector.config.window_slices

@@ -1,0 +1,153 @@
+"""SimulatedSSD: host API, read-only lockdown, recovery flow."""
+
+import pytest
+
+from repro.blockdev.request import read as read_req, write as write_req
+from repro.core.detector import RansomwareDetector
+from repro.core.id3 import DecisionTree, TreeNode
+from repro.errors import DeviceReadOnlyError, RecoveryError
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SimulatedSSD
+from repro.units import BLOCK_SIZE
+
+
+def constant_tree(label: int) -> DecisionTree:
+    tree = DecisionTree()
+    tree.root = TreeNode(label=label)
+    return tree
+
+
+def plain_ssd() -> SimulatedSSD:
+    return SimulatedSSD(SSDConfig.tiny(detector_enabled=False))
+
+
+def paranoid_ssd(**kwargs) -> SimulatedSSD:
+    """A device whose detector alarms after three slices of anything."""
+    return SimulatedSSD(SSDConfig.tiny(), tree=constant_tree(1), **kwargs)
+
+
+class TestHostIo:
+    def test_write_read_roundtrip(self):
+        ssd = plain_ssd()
+        ssd.write(5, b"payload", now=1.0)
+        assert ssd.read(5) == b"payload"
+
+    def test_unmapped_reads_zeroes(self):
+        ssd = plain_ssd()
+        data = ssd.read(7)
+        assert data == bytes(BLOCK_SIZE)
+        assert ssd.stats.unmapped_reads == 1
+
+    def test_submit_multiblock(self):
+        ssd = plain_ssd()
+        ssd.submit(write_req(1.0, 3, length=4))
+        assert ssd.stats.writes == 4
+
+    def test_submit_advances_clock(self):
+        ssd = plain_ssd()
+        ssd.submit(read_req(4.5, 0))
+        assert ssd.clock.now == 4.5
+
+    def test_capacity_properties(self):
+        ssd = plain_ssd()
+        assert ssd.capacity_bytes == ssd.num_lbas * BLOCK_SIZE
+
+    def test_trim_then_read_zeroes(self):
+        ssd = plain_ssd()
+        ssd.write(5, b"data", now=1.0)
+        ssd.trim(5, now=2.0)
+        assert ssd.read(5) == bytes(BLOCK_SIZE)
+
+
+class TestAlarmLockdown:
+    def test_alarm_sets_read_only(self):
+        ssd = paranoid_ssd()
+        ssd.tick(5.0)
+        assert ssd.alarm_raised
+        assert ssd.read_only
+
+    def test_writes_dropped_while_locked(self):
+        ssd = paranoid_ssd()
+        ssd.tick(5.0)
+        ssd.write(3, b"evil", now=6.0)
+        assert ssd.stats.dropped_writes == 1
+        assert ssd.read(3) == bytes(BLOCK_SIZE)
+
+    def test_strict_mode_raises(self):
+        ssd = paranoid_ssd(strict_read_only=True)
+        ssd.tick(5.0)
+        with pytest.raises(DeviceReadOnlyError):
+            ssd.write(3, b"evil", now=6.0)
+
+    def test_reads_still_served_while_locked(self):
+        ssd = paranoid_ssd()
+        ssd.write(3, b"good", now=0.5)
+        ssd.tick(5.0)
+        assert ssd.read(3) == b"good"
+
+    def test_host_alarm_callback(self):
+        events = []
+        ssd = SimulatedSSD(SSDConfig.tiny(), tree=constant_tree(1),
+                           on_alarm=events.append)
+        ssd.tick(5.0)
+        assert len(events) == 1
+        assert events[0].score >= 3
+
+
+class TestRecovery:
+    def test_recover_without_alarm_rejected(self):
+        ssd = paranoid_ssd()
+        with pytest.raises(RecoveryError):
+            ssd.recover()
+
+    def test_recover_unlocks_and_resets(self):
+        ssd = paranoid_ssd()
+        ssd.tick(5.0)
+        report = ssd.recover()
+        assert not ssd.read_only
+        assert not ssd.alarm_raised
+        assert report in ssd.rollback_reports
+
+    def test_recover_restores_overwritten_data(self):
+        ssd = paranoid_ssd()
+        ssd.write(3, b"original", now=0.5)
+        ssd.tick(20.0)  # the original version ages out of the window
+        ssd.dismiss_alarm()  # constant tree alarms on anything; clear it
+        ssd.write(3, b"encrypted", now=21.0)
+        ssd.tick(24.5)
+        assert ssd.alarm_raised
+        ssd.recover()
+        assert ssd.read(3) == b"original"
+
+    def test_dismiss_alarm_keeps_new_data(self):
+        ssd = paranoid_ssd()
+        ssd.write(3, b"v1", now=0.5)
+        ssd.tick(20.0)
+        ssd.dismiss_alarm()
+        ssd.write(3, b"v2", now=21.0)
+        ssd.tick(24.5)
+        ssd.dismiss_alarm()
+        assert ssd.read(3) == b"v2"
+        assert not ssd.read_only
+
+    def test_detectorless_device_has_no_alarm(self):
+        ssd = plain_ssd()
+        ssd.tick(60.0)
+        assert not ssd.alarm_raised
+
+    def test_detectorless_manual_rollback_allowed(self):
+        """Without a detector, recover() is a host-initiated rollback —
+        useful for 'undo the last 10 seconds' tooling."""
+        ssd = plain_ssd()
+        ssd.write(3, b"old", now=1.0)
+        ssd.write(3, b"mistake", now=20.0)
+        report = ssd.recover()
+        assert report.lbas_restored == 1
+        assert ssd.read(3) == b"old"
+
+    def test_repeated_recover_without_new_alarm_rejected(self):
+        ssd = paranoid_ssd()
+        ssd.tick(5.0)
+        ssd.recover()
+        with pytest.raises(RecoveryError):
+            ssd.recover()

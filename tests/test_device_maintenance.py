@@ -1,0 +1,72 @@
+"""Background maintenance (scrubbing, wear leveling) on the live device."""
+
+import pytest
+
+from repro.ftl.scrub import ScrubConfig
+from repro.ftl.wearlevel import WearLevelConfig
+from repro.nand.geometry import NandGeometry
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SimulatedSSD
+
+
+def maintained_device(**overrides) -> SimulatedSSD:
+    config = SSDConfig(
+        geometry=NandGeometry.tiny(),
+        op_ratio=0.45,
+        detector_enabled=False,
+        scrub=ScrubConfig(read_limit=60, max_per_sweep=4),
+        wear_level=WearLevelConfig(spread_threshold=4, check_every_erases=2),
+        maintenance_interval=1.0,
+        **overrides,
+    )
+    return SimulatedSSD(config)
+
+
+class TestScrubOnDevice:
+    def test_idle_ticks_scrub_hot_read_blocks(self):
+        ssd = maintained_device()
+        for lba in range(60):
+            ssd.write(lba, b"v", now=0.01 * lba)
+        # Hammer one LBA with reads well past the disturb limit.
+        now = 1.0
+        for _ in range(120):
+            ssd.read(0, now=now)
+            now += 0.01
+        assert ssd.scrubber.due_blocks()
+        ssd.tick(now + 5.0)
+        assert ssd.scrubber.scrubbed >= 1
+        # Data integrity across the scrub.
+        for lba in range(60):
+            assert ssd.read(lba) == b"v"
+
+    def test_no_scrubbing_while_locked_down(self, pretrained_tree):
+        config = SSDConfig(
+            geometry=NandGeometry.tiny(),
+            op_ratio=0.45,
+            scrub=ScrubConfig(read_limit=10, max_per_sweep=4),
+            maintenance_interval=1.0,
+        )
+        from repro.core.id3 import DecisionTree, TreeNode
+
+        tree = DecisionTree()
+        tree.root = TreeNode(label=1)
+        ssd = SimulatedSSD(config, tree=tree)
+        for lba in range(30):
+            ssd.write(lba, b"v", now=0.01 * lba)
+        for i in range(20):
+            ssd.read(0, now=1.0 + 0.01 * i)
+        ssd.tick(10.0)  # the paranoid tree alarms -> read-only
+        assert ssd.read_only
+        scrubbed_at_lockdown = ssd.scrubber.scrubbed
+        ssd.tick(30.0)
+        assert ssd.scrubber.scrubbed == scrubbed_at_lockdown
+
+    def test_wear_leveler_attached(self):
+        ssd = maintained_device()
+        assert ssd.wear_leveler is not None
+        assert ssd.ftl.wear_leveler is ssd.wear_leveler
+
+    def test_maintenance_off_by_default(self):
+        ssd = SimulatedSSD(SSDConfig.tiny(detector_enabled=False))
+        assert ssd.scrubber is None
+        assert ssd.wear_leveler is None

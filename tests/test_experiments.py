@@ -1,0 +1,174 @@
+"""Experiment modules: each regenerates its table/figure (scaled down)."""
+
+import pytest
+
+from repro.experiments import (
+    claims,
+    fig1,
+    fig2,
+    fig4,
+    fig7,
+    fig8,
+    fig9,
+    table1,
+    table2,
+    table3,
+)
+from repro.fs.fsck import CorruptionType
+from repro.nand.geometry import NandGeometry
+from repro.workloads.catalog import testing_scenarios as get_testing_scenarios
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig1.run(seed=1, duration=25.0)
+
+    def test_strong_owio_correlation(self, result):
+        for sample, correlation in result.correlations.items():
+            assert correlation.pearson > 0.7, sample
+
+    def test_cumulative_ordering_matches_paper(self, result):
+        totals = {k: (v[-1] if v else 0) for k, v in result.cumulative.items()}
+        # Fast samples and the wiper dominate; P2P/compression at the bottom.
+        assert totals["wannacry"] > totals["jaff"]
+        assert totals["datawiping"] > totals["cloudstorage"]
+        assert totals["mole"] > totals["p2pdown"]
+
+    def test_render_mentions_both_panels(self, result):
+        text = result.render()
+        assert "Fig. 1(a)" in text and "Fig. 1(b)" in text
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2.run(seed=1, duration=25.0)
+
+    def test_owio_correlates_for_all_samples(self, result):
+        assert all(r > 0.6 for r in result.correlations["owio"].values())
+
+    def test_every_ransomware_beats_every_benign_on_owst(self, result):
+        assert result.ransomware_lead("owst") > 1.0
+
+    def test_render_lists_all_features(self, result):
+        text = result.render()
+        for feature in ("owio", "owst", "pwio", "avgwio"):
+            assert feature in text
+
+
+class TestFig4:
+    def test_score_timeline_shape(self, pretrained_tree):
+        result = fig4.run(seed=2, duration=35.0, tree=pretrained_tree)
+        scores = dict(result.scores)
+        before_onset = [s for i, s in result.scores if i < result.onset - 1]
+        assert all(s == 0 for s in before_onset)
+        assert result.alarm_slice is not None
+        assert scores[result.alarm_slice] >= result.threshold
+        assert "ALARM" in result.render()
+
+
+class TestTable1:
+    def test_rows_match_catalog(self):
+        result = table1.run()
+        assert len(result.training_rows) == 13
+        assert len(result.testing_rows) == 12
+        assert "WPM (DataWiping)" in result.render()
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self, pretrained_tree):
+        return fig7.run(repetitions=1, seed=21, duration=45.0,
+                        tree=pretrained_tree)
+
+    def test_paper_operating_point(self, result):
+        """Threshold 3: FRR 0 everywhere; FAR bounded by the paper's
+        heavy-overwrite worst case."""
+        points = result.at_threshold(3)
+        for category, point in points.items():
+            assert point.frr == 0.0, category
+            if category != "heavy_overwrite":
+                assert point.far == 0.0, category
+
+    def test_frr_monotone_in_threshold(self, result):
+        for category, points in result.curves.items():
+            frrs = [p.frr for p in points]
+            assert frrs == sorted(frrs), category
+
+    def test_far_antitone_in_threshold(self, result):
+        for category, points in result.curves.items():
+            fars = [p.far for p in points]
+            assert fars == sorted(fars, reverse=True), category
+
+
+class TestTable2:
+    def test_cycle_outcome(self, pretrained_tree):
+        result = table2.run(cycles=2, seed=3, tree=pretrained_tree,
+                            num_files=150)
+        assert result.alarms == 2
+        assert result.files_encrypted_left == 0
+        assert result.files_lost == 0
+        assert result.unresolved == 0
+        assert "Table II" in result.render()
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8.run(seed=4, duration=20.0)
+
+    def test_overheads_in_paper_ballpark(self, result):
+        assert 100 <= result.avg_insider_read_ns <= 250
+        assert 150 <= result.avg_insider_write_ns <= 400
+
+    def test_share_of_total_io_negligible(self, result):
+        assert all(row.read_share < 0.01 for row in result.rows)
+        assert all(row.write_share < 0.01 for row in result.rows)
+
+    def test_one_row_per_testing_trace(self, result):
+        assert len(result.rows) == 12
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        geometry = NandGeometry(channels=2, ways=2, blocks_per_chip=96,
+                                pages_per_block=64)
+        heavy = [s for s in get_testing_scenarios()
+                 if s.name in ("test-ransom-only", "test-p2pdown-wannacry")]
+        return fig9.run(utilization=0.9, seed=5, duration=20.0,
+                        geometry=geometry, scenarios=heavy)
+
+    def test_insider_never_cheaper(self, result):
+        for row in result.rows:
+            assert row.insider_copies >= row.conventional_copies
+
+    def test_pinned_copies_tracked(self, result):
+        assert any(row.pinned_copies > 0 for row in result.rows)
+
+    def test_render(self, result):
+        assert "90%" in result.render()
+
+
+class TestTable3:
+    def test_budget_and_peaks(self):
+        result = table3.run(seed=6, duration=15.0)
+        assert result.budget.total_bytes == pytest.approx(
+            40.03 * 1024 * 1024, rel=0.01
+        )
+        assert 0 < result.measured_peak_hash < 250_000
+        assert "40.03" in result.render()
+
+
+class TestClaims:
+    def test_headline_claims(self, pretrained_tree):
+        result = claims.run(seed=7, repetitions=1, duration=45.0,
+                            tree=pretrained_tree)
+        assert result.missed_detections == 0
+        mean_latency = (sum(result.detection_latencies)
+                        / len(result.detection_latencies))
+        assert mean_latency < 10.0
+        assert result.recovery_model_seconds < 1.0
+        assert result.blocks_lost == 0
+        assert "claims" in result.render().lower()

@@ -1,0 +1,106 @@
+"""Smoke tests for the ablation/extension experiments (scaled down)."""
+
+import pytest
+
+from repro.experiments import (
+    ablation_classifier,
+    ablation_features,
+    ablation_gc,
+    ablation_window,
+    evasion,
+)
+from repro.nand.geometry import NandGeometry
+
+
+class TestFeatureAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_features.run(seed=9, duration=40.0,
+                                     runs_per_scenario=1, repetitions=1)
+
+    def test_one_row_per_feature_plus_reference(self, result):
+        assert len(result.rows) == 7
+        assert result.rows[0].dropped == "(none)"
+
+    def test_render(self, result):
+        assert "dropped feature" in result.render()
+
+    def test_rates_are_rates(self, result):
+        for row in result.rows:
+            assert 0.0 <= row.worst_far <= 1.0
+            assert 0.0 <= row.worst_frr <= 1.0
+
+    def test_row_lookup(self, result):
+        assert result.row("owio").dropped == "owio"
+        with pytest.raises(KeyError):
+            result.row("entropy")
+
+
+class TestClassifierAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_classifier.run(seed=9, duration=40.0,
+                                       runs_per_scenario=1, repetitions=1)
+
+    def test_three_models(self, result):
+        assert {row.name for row in result.rows} == {
+            "id3-tree", "logistic", "stump",
+        }
+
+    def test_stump_is_smallest(self, result):
+        assert result.row("stump").memory_bytes < \
+            result.row("id3-tree").memory_bytes
+
+    def test_render(self, result):
+        assert "model DRAM" in result.render()
+
+
+class TestWindowAblation:
+    def test_sweep_structure(self):
+        result = ablation_window.run(windows=(5,), thresholds=(2, 3),
+                                     seed=9, duration=40.0, repetitions=1,
+                                     runs_per_scenario=1)
+        assert len(result.rows) == 2
+        assert result.row(5, 2).window_slices == 5
+        assert "window N" in result.render()
+
+    def test_threshold_above_window_skipped(self):
+        result = ablation_window.run(windows=(3,), thresholds=(2, 5),
+                                     seed=9, duration=30.0, repetitions=1,
+                                     runs_per_scenario=1)
+        assert len(result.rows) == 1
+
+
+class TestGcAblation:
+    def test_all_policy_combinations(self):
+        result = ablation_gc.run(
+            utilization=0.8, seed=9, duration=15.0,
+            geometry=NandGeometry(channels=1, ways=2, blocks_per_chip=64,
+                                  pages_per_block=64),
+        )
+        assert len(result.rows) == 6
+        assert {row.policy for row in result.rows} == {
+            "greedy", "cost_benefit", "wear_aware",
+        }
+        for row in result.rows:
+            assert row.write_amplification >= 1.0
+            assert row.wear_spread >= 0
+
+
+class TestEvasion:
+    @pytest.fixture(scope="class")
+    def result(self, pretrained_tree):
+        return evasion.run(rates=(10, 400), seed=9, duration=45.0,
+                           repetitions=1, tree=pretrained_tree)
+
+    def test_fast_attack_detected(self, result):
+        fast = [r for r in result.rows if r.blocks_per_second == 400][0]
+        assert fast.detection_rate == 1.0
+        assert fast.mean_latency <= 10.0
+
+    def test_damage_scales_with_rate(self, result):
+        slow, fast = result.rows
+        assert slow.damage_blocks_per_minute < fast.damage_blocks_per_minute
+
+    def test_render(self, result):
+        assert "Evasion sweep" in result.render()

@@ -1,0 +1,79 @@
+"""The six features' definitions (Fig. 3 semantics)."""
+
+import pytest
+
+from repro.core.counting_table import CountingTable
+from repro.core.features import FEATURE_NAMES, FeatureVector, compute_features
+from repro.core.window import SliceStats, SlidingWindow
+
+
+def build(slices, table=None):
+    """Push prepared slices into a window and compute features."""
+    window = SlidingWindow(10)
+    for stats in slices:
+        window.push(stats)
+    return compute_features(table or CountingTable(), window)
+
+
+def make_slice(index, rio=0, wio=0, owio=0, lbas=()):
+    stats = SliceStats(index=index, rio=rio, wio=wio, owio=owio)
+    stats.overwritten_lbas.update(lbas)
+    return stats
+
+
+class TestVectorShape:
+    def test_names_order(self):
+        assert FEATURE_NAMES == ("owio", "owst", "pwio", "avgwio", "owslope", "io")
+
+    def test_tuple_matches_names(self):
+        vector = FeatureVector(1, 2, 3, 4, 5, 6)
+        assert vector.as_dict() == {
+            "owio": 1, "owst": 2, "pwio": 3, "avgwio": 4, "owslope": 5, "io": 6,
+        }
+        assert vector.as_list() == [1, 2, 3, 4, 5, 6]
+
+    def test_empty_window(self):
+        vector = compute_features(CountingTable(), SlidingWindow(10))
+        assert vector.as_tuple() == (0, 0, 0, 0, 0, 0)
+
+
+class TestDefinitions:
+    def test_owio_is_latest_slice(self):
+        vector = build([make_slice(0, owio=9), make_slice(1, owio=4)])
+        assert vector.owio == 4
+
+    def test_io_is_latest_rio_plus_wio(self):
+        vector = build([make_slice(0, rio=3, wio=2)])
+        assert vector.io == 5
+
+    def test_pwio_sums_previous_slices(self):
+        vector = build([make_slice(0, owio=5), make_slice(1, owio=7),
+                        make_slice(2, owio=100)])
+        assert vector.pwio == 12
+
+    def test_owst_dedupes_within_window(self):
+        """Seven write passes over one block count once in OWST."""
+        slices = [make_slice(0, wio=7, owio=7, lbas={42})]
+        vector = build(slices)
+        assert vector.owst == pytest.approx(1 / 7)
+
+    def test_owst_zero_without_writes(self):
+        vector = build([make_slice(0, rio=5)])
+        assert vector.owst == 0.0
+
+    def test_owslope_ratio(self):
+        vector = build([make_slice(0, owio=10), make_slice(1, owio=5)])
+        assert vector.owslope == pytest.approx(0.5)
+
+    def test_owslope_degrades_to_owio_when_no_history(self):
+        vector = build([make_slice(0, owio=10)])
+        assert vector.owslope == 10.0
+
+    def test_avgwio_from_table(self):
+        table = CountingTable()
+        for lba in range(4):
+            table.record_read(lba, 0)
+        for lba in range(4):
+            table.record_write(lba, 0)
+        vector = build([make_slice(0, wio=4, owio=4)], table=table)
+        assert vector.avgwio == pytest.approx(4.0)

@@ -1,0 +1,116 @@
+"""Property-based tests of SimpleFS against an in-memory shadow model."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FilesystemError, FsFullError
+from repro.fs.fsck import fsck
+from repro.fs.simplefs import SimpleFS
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SimulatedSSD
+
+NAMES = ("alpha", "beta", "gamma", "delta")
+
+fs_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["create", "overwrite", "delete", "read"]),
+        st.sampled_from(NAMES),
+        st.integers(min_value=0, max_value=30_000),  # size in bytes
+    ),
+    max_size=40,
+)
+
+
+def fresh_fs() -> SimpleFS:
+    device = SimulatedSSD(SSDConfig.tiny(detector_enabled=False))
+    filesystem = SimpleFS(device, num_inodes=8)
+    filesystem.format()
+    return filesystem
+
+
+def payload(name: str, size: int) -> bytes:
+    return (name.encode() * (size // len(name) + 1))[:size]
+
+
+@given(fs_ops)
+@settings(max_examples=40, deadline=None)
+def test_simplefs_matches_shadow_model(operations):
+    """Whatever op sequence runs, SimpleFS agrees with a dict."""
+    filesystem = fresh_fs()
+    shadow = {}
+    for op, name, size in operations:
+        data = payload(name, size)
+        try:
+            if op == "create":
+                filesystem.create(name, data)
+                shadow[name] = data
+            elif op == "overwrite":
+                filesystem.overwrite(name, data)
+                shadow[name] = data
+            elif op == "delete":
+                filesystem.delete(name)
+                del shadow[name]
+            else:
+                expected = shadow.get(name)
+                if expected is not None:
+                    assert filesystem.read_file(name) == expected
+        except (FilesystemError, FsFullError, KeyError):
+            # Rejections must agree: the op was invalid for the shadow too,
+            # or the filesystem ran out of room (shadow unchanged).
+            continue
+    assert sorted(filesystem.list_files()) == sorted(shadow)
+    for name, data in shadow.items():
+        assert filesystem.read_file(name) == data
+
+
+@given(fs_ops)
+@settings(max_examples=25, deadline=None)
+def test_simplefs_free_count_consistent(operations):
+    """The free-block counter always equals bitmap reality, and fsck finds
+    a write-through filesystem clean after any op sequence."""
+    filesystem = fresh_fs()
+    for op, name, size in operations:
+        try:
+            if op == "create":
+                filesystem.create(name, payload(name, size))
+            elif op == "overwrite":
+                filesystem.overwrite(name, payload(name, size))
+            elif op == "delete":
+                filesystem.delete(name)
+        except (FilesystemError, FsFullError):
+            continue
+    used = sum(
+        filesystem.stat(name).block_count for name in filesystem.list_files()
+    )
+    assert filesystem.free_blocks == filesystem.layout.data_blocks - used
+    report = fsck(filesystem.device)
+    assert report.clean
+
+
+@given(fs_ops)
+@settings(max_examples=15, deadline=None)
+def test_simplefs_remount_preserves_everything(operations):
+    """Mounting from disk reproduces the live instance exactly."""
+    filesystem = fresh_fs()
+    shadow = {}
+    for op, name, size in operations:
+        try:
+            if op == "create":
+                filesystem.create(name, payload(name, size))
+                shadow[name] = payload(name, size)
+            elif op == "overwrite":
+                filesystem.overwrite(name, payload(name, size))
+                shadow[name] = payload(name, size)
+            elif op == "delete":
+                filesystem.delete(name)
+                shadow.pop(name, None)
+        except (FilesystemError, FsFullError):
+            continue
+    remounted = SimpleFS(filesystem.device, num_inodes=8)
+    remounted.mount()
+    assert sorted(remounted.list_files()) == sorted(shadow)
+    for name, data in shadow.items():
+        assert remounted.read_file(name) == data
+    assert remounted.free_blocks == filesystem.free_blocks

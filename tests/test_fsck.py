@@ -1,0 +1,139 @@
+"""fsck: detection and repair of every Table II corruption class."""
+
+import pytest
+
+from repro.fs.fsck import CorruptionType, fsck
+from repro.fs.layout import FsLayout, decode_block, encode_block
+from repro.fs.simplefs import SimpleFS
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SimulatedSSD
+from repro.units import BLOCK_SIZE
+
+
+@pytest.fixture
+def device() -> SimulatedSSD:
+    return SimulatedSSD(SSDConfig.tiny(detector_enabled=False))
+
+
+@pytest.fixture
+def fs(device) -> SimpleFS:
+    filesystem = SimpleFS(device, num_inodes=16)
+    filesystem.format()
+    filesystem.create("a", b"aaaa" * 100)
+    filesystem.create("b", b"bbbb" * 2000)
+    return filesystem
+
+
+def corrupt_superblock(device, **fields):
+    record = decode_block(device.read(0))
+    record.update(fields)
+    device.write(0, encode_block(record))
+
+
+class TestCleanFilesystem:
+    def test_clean_fs_reports_nothing(self, device, fs):
+        report = fsck(device)
+        assert report.clean
+        assert report.files_kept == 2
+
+    def test_fsck_idempotent(self, device, fs):
+        fsck(device)
+        assert fsck(device).clean
+
+
+class TestCorruptionRepair:
+    def test_wrong_free_block_count(self, device, fs):
+        corrupt_superblock(device, free=1)
+        report = fsck(device)
+        assert report.count(CorruptionType.FREE_BLOCK_COUNT) >= 1
+        remounted = SimpleFS(device, num_inodes=16)
+        remounted.mount()
+        assert remounted.free_blocks > 1
+        assert fsck(device).clean
+
+    def test_wrong_inode_count(self, device, fs):
+        corrupt_superblock(device, inodes=9)
+        report = fsck(device)
+        assert report.count(CorruptionType.FREE_BLOCK_COUNT) >= 1
+        assert fsck(device).clean
+
+    def test_bitmap_corruption(self, device, fs):
+        layout = fs.layout
+        bitmap = bytearray(device.read(layout.bitmap_start))
+        # Mark the last (free) data block as allocated: no inode claims it.
+        victim_bit = layout.total_blocks - 1
+        bitmap[victim_bit // 8] ^= 1 << (victim_bit % 8)
+        device.write(layout.bitmap_start, bytes(bitmap))
+        report = fsck(device)
+        assert report.count(CorruptionType.FREE_SPACE_BITMAP) >= 1
+        assert fsck(device).clean
+
+    def test_inode_block_count_mismatch(self, device, fs):
+        layout = fs.layout
+        inode_block = layout.inode_block_of(0)
+        record = decode_block(device.read(inode_block))
+        record["i"][0]["c"] = 99  # stored count disagrees with block list
+        device.write(inode_block, encode_block(record))
+        report = fsck(device)
+        assert report.count(CorruptionType.INODE_BLOCK_COUNT) >= 1
+        assert fsck(device).clean
+
+    def test_invalid_inode_out_of_range_block(self, device, fs):
+        layout = fs.layout
+        inode_block = layout.inode_block_of(0)
+        record = decode_block(device.read(inode_block))
+        record["i"][0]["b"] = [layout.total_blocks + 5]
+        device.write(inode_block, encode_block(record))
+        report = fsck(device)
+        assert report.count(CorruptionType.INVALID_INODE) >= 1
+        assert fsck(device).clean
+
+    def test_doubly_referenced_block(self, device, fs):
+        layout = fs.layout
+        first = decode_block(device.read(layout.inode_block_of(0)))
+        block_of_a = first["i"][0]["b"][0]
+        # Make inode 1 ("b") also claim inode 0's first block.
+        first["i"][1]["b"] = [block_of_a] + first["i"][1]["b"][1:]
+        device.write(layout.inode_block_of(0), encode_block(first))
+        report = fsck(device)
+        assert report.count(CorruptionType.INVALID_INODE) >= 1
+        assert fsck(device).clean
+
+    def test_file_contents_survive_repair(self, device, fs):
+        corrupt_superblock(device, free=1, inodes=0)
+        fsck(device)
+        remounted = SimpleFS(device, num_inodes=16)
+        remounted.mount()
+        assert remounted.read_file("a") == b"aaaa" * 100
+        assert remounted.read_file("b") == b"bbbb" * 2000
+
+    def test_fs_usable_after_repair(self, device, fs):
+        corrupt_superblock(device, free=0)
+        fsck(device)
+        remounted = SimpleFS(device, num_inodes=16)
+        remounted.mount()
+        remounted.create("c", b"new file after fsck")
+        assert remounted.read_file("c") == b"new file after fsck"
+
+
+class TestEncryptionAudit:
+    def test_looks_encrypted_separates_cipher_from_plain(self):
+        from repro.fs.ransomfs import encrypt, looks_encrypted
+
+        plaintext = b"The quick brown fox. " * 500
+        assert not looks_encrypted(plaintext)
+        assert looks_encrypted(encrypt(plaintext, key=b"k" * 32))
+
+    def test_entropy_bounds(self):
+        from repro.fs.ransomfs import shannon_entropy
+
+        assert shannon_entropy(b"") == 0.0
+        assert shannon_entropy(b"aaaa") == 0.0
+        assert shannon_entropy(bytes(range(256))) == pytest.approx(8.0)
+
+    def test_encrypt_roundtrip(self):
+        from repro.fs.ransomfs import encrypt
+
+        data = b"secret" * 100
+        key = b"0" * 32
+        assert encrypt(encrypt(data, key), key) == data

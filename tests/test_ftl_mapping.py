@@ -1,0 +1,56 @@
+"""Mapping table semantics."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.ftl.mapping import MappingTable
+
+
+@pytest.fixture
+def table() -> MappingTable:
+    return MappingTable(num_lbas=16)
+
+
+class TestMappingTable:
+    def test_unmapped_lookup_is_none(self, table):
+        assert table.lookup(3) is None
+        assert not table.is_mapped(3)
+
+    def test_update_and_lookup(self, table):
+        assert table.update(3, 100) is None
+        assert table.lookup(3) == 100
+        assert table.is_mapped(3)
+
+    def test_update_returns_previous(self, table):
+        table.update(3, 100)
+        assert table.update(3, 200) == 100
+        assert table.lookup(3) == 200
+
+    def test_unmap(self, table):
+        table.update(3, 100)
+        assert table.unmap(3) == 100
+        assert table.lookup(3) is None
+
+    def test_unmap_missing_returns_none(self, table):
+        assert table.unmap(3) is None
+
+    def test_mapped_count(self, table):
+        table.update(1, 10)
+        table.update(2, 20)
+        table.unmap(1)
+        assert table.mapped_count() == 1
+        assert len(table) == 1
+
+    def test_items(self, table):
+        table.update(1, 10)
+        assert dict(table.items()) == {1: 10}
+
+    def test_out_of_range_lba(self, table):
+        with pytest.raises(AddressError):
+            table.lookup(16)
+        with pytest.raises(AddressError):
+            table.update(-1, 0)
+
+    def test_rejects_empty_space(self):
+        with pytest.raises(AddressError):
+            MappingTable(0)

@@ -1,0 +1,125 @@
+"""End-to-end integration: the full defense loop on the simulated device."""
+
+import pytest
+
+from repro.fs import FilesystemRansomware, SimpleFS, fsck, looks_encrypted
+from repro.nand.geometry import NandGeometry
+from repro.rand import derive_rng
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SimulatedSSD
+from repro.workloads import LbaRegion, make_ransomware
+from repro.workloads.scenario import Scenario
+
+
+@pytest.fixture(scope="module")
+def recovery_config() -> SSDConfig:
+    return SSDConfig(
+        geometry=NandGeometry(channels=2, ways=4, blocks_per_chip=128,
+                              pages_per_block=64),
+        queue_capacity=20_000,
+    )
+
+
+class TestBlockLevelDefenseLoop:
+    @pytest.fixture(scope="class")
+    def attacked_device(self, pretrained_tree):
+        config = SSDConfig(
+            geometry=NandGeometry(channels=2, ways=4, blocks_per_chip=128,
+                                  pages_per_block=64),
+            queue_capacity=20_000,
+        )
+        ssd = SimulatedSSD(config, tree=pretrained_tree)
+        snapshot = {}
+        for lba in range(15_000):
+            payload = b"block-%d" % lba
+            ssd.write(lba, payload, now=0.0005 * lba)
+            snapshot[lba] = payload
+        ssd.tick(30.0)
+        attack = make_ransomware("wannacry", LbaRegion(0, 15_000),
+                                 start=30.0, duration=30.0, seed=7)
+        for request in attack.requests():
+            ssd.submit(request)
+            if ssd.alarm_raised:
+                break
+        return ssd, snapshot
+
+    def test_alarm_within_window(self, attacked_device):
+        ssd, _ = attacked_device
+        assert ssd.alarm_raised
+        assert ssd.clock.now - 30.0 <= 10.0  # paper: detects within 10 s
+
+    def test_lockdown_engaged(self, attacked_device):
+        ssd, _ = attacked_device
+        assert ssd.read_only
+
+    def test_recovery_is_lossless(self, attacked_device):
+        ssd, snapshot = attacked_device
+        report = ssd.recover()
+        assert report.mapping_updates > 0
+        lost = sum(
+            1 for lba, payload in snapshot.items()
+            if ssd.read(lba)[: len(payload)] != payload
+        )
+        assert lost == 0
+
+    def test_device_writable_after_recovery(self, attacked_device):
+        ssd, _ = attacked_device
+        ssd.write(0, b"post-recovery write", now=ssd.clock.now + 1.0)
+        assert ssd.read(0)[:19] == b"post-recovery write"
+
+
+class TestFilesystemDefenseLoop:
+    @pytest.mark.parametrize("in_place", [True, False],
+                             ids=["inplace", "outplace"])
+    def test_attack_recover_fsck_audit(self, recovery_config,
+                                       pretrained_tree, in_place):
+        device = SimulatedSSD(recovery_config, tree=pretrained_tree)
+        filesystem = SimpleFS(device, num_inodes=512)
+        filesystem.format()
+        rng = derive_rng(31, "integration", "inplace" if in_place else "out")
+        originals = {}
+        for index in range(250):
+            data = bytes([65 + index % 26]) * int(rng.integers(4096, 80_000))
+            name = f"doc{index:04d}"
+            filesystem.create(name, data)
+            originals[name] = data
+        device.tick(device.clock.now + 10.0)
+
+        attacker = FilesystemRansomware(filesystem, in_place=in_place,
+                                        seed=5)
+        encrypted = attacker.run(stop_when=lambda: device.alarm_raised)
+        assert device.alarm_raised, "attack must be caught"
+        assert encrypted > 0, "attack must have made progress first"
+
+        device.recover()
+        fsck(device)
+        audit = SimpleFS(device, num_inodes=512)
+        audit.mount()
+        encrypted_left = mismatched = 0
+        for name, data in originals.items():
+            content = audit.read_file(name)
+            if looks_encrypted(content):
+                encrypted_left += 1
+            elif content != data:
+                mismatched += 1
+        assert encrypted_left == 0
+        assert mismatched == 0
+        assert fsck(device).clean
+
+
+class TestScenarioThroughDevice:
+    def test_benign_scenario_never_alarms(self, pretrained_tree):
+        """A quiet office workload must not trip the device lockdown."""
+        config = SSDConfig(
+            geometry=NandGeometry(channels=2, ways=4, blocks_per_chip=128,
+                                  pages_per_block=64)
+        )
+        ssd = SimulatedSSD(config, tree=pretrained_tree)
+        run = Scenario("office", app="websurfing").build(
+            seed=13, duration=30.0, num_lbas=ssd.num_lbas
+        )
+        for request in run.trace:
+            ssd.submit(request)
+        ssd.tick(30.0)
+        assert not ssd.alarm_raised
+        assert ssd.stats.dropped_writes == 0

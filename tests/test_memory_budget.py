@@ -1,0 +1,49 @@
+"""Table III DRAM budgeting."""
+
+import pytest
+
+from repro.core.memory import (
+    MemoryBudget,
+    estimate_memory_budget,
+    paper_memory_budget,
+)
+from repro.errors import ConfigError
+from repro.units import MIB
+
+
+class TestPaperBudget:
+    def test_total_matches_paper(self):
+        budget = paper_memory_budget()
+        assert budget.total_bytes / MIB == pytest.approx(40.03, abs=0.01)
+
+    def test_hash_table_10mb(self):
+        assert paper_memory_budget().hash_bytes / MIB == pytest.approx(10.01, abs=0.01)
+
+    def test_queue_30mb(self):
+        assert paper_memory_budget().queue_bytes / MIB == pytest.approx(30.0, abs=0.01)
+
+    def test_rows_structure(self):
+        rows = paper_memory_budget().rows()
+        assert [row[0] for row in rows] == [
+            "Hash table", "Counting table", "Recovery queue",
+        ]
+        assert rows[0][1] == 42 and rows[1][1] == 12 and rows[2][1] == 12
+
+
+class TestEstimation:
+    def test_scales_with_bandwidth(self):
+        slow = estimate_memory_budget(100 * MIB, 200 * MIB)
+        fast = estimate_memory_budget(700 * MIB, 1200 * MIB)
+        assert fast.queue_entries > slow.queue_entries
+        assert fast.hash_entries > slow.hash_entries
+
+    def test_window_of_writes_fits_queue(self):
+        budget = estimate_memory_budget(700 * MIB, 1200 * MIB, retention=10.0)
+        # 700 MiB/s of 4-KiB blocks for 10 s.
+        assert budget.queue_entries == 700 * 256 * 10
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            estimate_memory_budget(0, 100)
+        with pytest.raises(ConfigError):
+            estimate_memory_budget(100, 100, retention=0)

@@ -1,0 +1,48 @@
+"""Time-ordered stream merging."""
+
+from repro.blockdev.mixer import merge_streams
+from repro.blockdev.request import read
+
+
+class TestMergeStreams:
+    def test_merges_in_time_order(self):
+        a = [read(0.0, 0), read(2.0, 1)]
+        b = [read(1.0, 10), read(3.0, 11)]
+        merged = list(merge_streams([a, b]))
+        assert [r.time for r in merged] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_tie_broken_by_stream_index(self):
+        a = [read(1.0, 0, source="a")]
+        b = [read(1.0, 1, source="b")]
+        merged = list(merge_streams([a, b]))
+        assert [r.source for r in merged] == ["a", "b"]
+
+    def test_empty_streams(self):
+        assert list(merge_streams([[], []])) == []
+
+    def test_single_stream_passthrough(self):
+        a = [read(0.0, 0), read(1.0, 1)]
+        assert list(merge_streams([a])) == a
+
+    def test_preserves_within_stream_order_for_equal_times(self):
+        a = [read(1.0, 0), read(1.0, 1), read(1.0, 2)]
+        merged = list(merge_streams([a]))
+        assert [r.lba for r in merged] == [0, 1, 2]
+
+    def test_three_streams(self):
+        streams = [
+            [read(0.0, 0), read(3.0, 1)],
+            [read(1.0, 2)],
+            [read(2.0, 3)],
+        ]
+        merged = list(merge_streams(streams))
+        assert [r.lba for r in merged] == [0, 2, 3, 1]
+
+    def test_lazy_generators_supported(self):
+        def generator(start):
+            for i in range(3):
+                yield read(start + i, 100 + i)
+
+        merged = list(merge_streams([generator(0.0), generator(0.5)]))
+        assert len(merged) == 6
+        assert merged == sorted(merged, key=lambda r: r.time)

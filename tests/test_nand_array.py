@@ -1,0 +1,95 @@
+"""NAND array: chips behind flat PPAs, counters, latency accounting."""
+
+import pytest
+
+from repro.nand.array import NandArray
+from repro.nand.block import PageState
+from repro.nand.geometry import NandGeometry
+from repro.nand.latency import NandLatencies
+
+
+class TestLatencies:
+    def test_defaults_match_paper_citations(self):
+        lat = NandLatencies()
+        assert lat.page_read == pytest.approx(50e-6)
+        assert lat.page_program == pytest.approx(500e-6)
+
+    def test_copy_page_is_read_plus_program(self):
+        lat = NandLatencies()
+        assert lat.copy_page() == pytest.approx(lat.page_read + lat.page_program)
+
+    def test_rejects_nonpositive(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            NandLatencies(page_read=0.0)
+
+
+class TestArrayOperations:
+    def test_program_returns_flat_ppa(self, tiny_nand):
+        ppa = tiny_nand.program(global_block=0, lba=7, timestamp=1.0)
+        assert ppa == 0
+        assert tiny_nand.program(0, 8, 1.0) == 1
+
+    def test_program_second_block(self, tiny_nand):
+        ppa = tiny_nand.program(global_block=1, lba=7, timestamp=1.0)
+        assert ppa == tiny_nand.geometry.pages_per_block
+
+    def test_read_returns_oob(self, tiny_nand):
+        ppa = tiny_nand.program(0, 42, 2.0, payload=b"data")
+        info = tiny_nand.read(ppa)
+        assert info.lba == 42
+        assert info.payload == b"data"
+
+    def test_invalidate_and_state(self, tiny_nand):
+        ppa = tiny_nand.program(0, 1, 0.0)
+        assert tiny_nand.page_state(ppa) is PageState.VALID
+        tiny_nand.invalidate(ppa)
+        assert tiny_nand.page_state(ppa) is PageState.INVALID
+
+    def test_erase_whole_block(self, tiny_nand):
+        ppa = tiny_nand.program(0, 1, 0.0)
+        tiny_nand.invalidate(ppa)
+        tiny_nand.erase(0)
+        assert tiny_nand.page_state(ppa) is PageState.FREE
+
+    def test_block_ppa_range(self, tiny_nand):
+        rng = tiny_nand.block_ppa_range(1)
+        ppb = tiny_nand.geometry.pages_per_block
+        assert rng.start == ppb and rng.stop == 2 * ppb
+
+
+class TestAccounting:
+    def test_count_pages_by_state(self, tiny_nand):
+        tiny_nand.program(0, 1, 0.0)
+        ppa = tiny_nand.program(0, 2, 0.0)
+        tiny_nand.invalidate(ppa)
+        assert tiny_nand.count_pages(PageState.VALID) == 1
+        assert tiny_nand.count_pages(PageState.INVALID) == 1
+        assert (
+            tiny_nand.count_pages(PageState.FREE)
+            == tiny_nand.geometry.pages_total - 2
+        )
+
+    def test_busy_time_accumulates(self, tiny_nand):
+        before = tiny_nand.busy_time
+        ppa = tiny_nand.program(0, 1, 0.0)
+        tiny_nand.read(ppa)
+        lat = tiny_nand.latencies
+        assert tiny_nand.busy_time == pytest.approx(
+            before + lat.page_program + lat.page_read
+        )
+
+    def test_total_counters(self, tiny_nand):
+        ppa = tiny_nand.program(0, 1, 0.0)
+        tiny_nand.invalidate(ppa)
+        tiny_nand.erase(0)
+        assert tiny_nand.total_programs() == 1
+        assert tiny_nand.total_erases() == 1
+
+    def test_multichip_program(self):
+        nand = NandArray(NandGeometry(channels=2, ways=1, blocks_per_chip=2,
+                                      pages_per_block=4))
+        # Block 2 lives on chip 1.
+        ppa = nand.program(2, 5, 0.0)
+        assert nand.geometry.chip_of(ppa) == 1

@@ -1,0 +1,104 @@
+"""Erase-block rules: sequential program, invalidate, erase."""
+
+import pytest
+
+from repro.errors import EraseError, ProgramError, ReadError
+from repro.nand.block import Block, PageState
+
+
+@pytest.fixture
+def block() -> Block:
+    return Block(num_pages=4)
+
+
+class TestProgram:
+    def test_sequential_pages(self, block):
+        assert block.program(lba=10, timestamp=1.0) == 0
+        assert block.program(lba=11, timestamp=1.1) == 1
+        assert block.write_pointer == 2
+
+    def test_program_records_oob(self, block):
+        block.program(lba=10, timestamp=1.0, payload=b"x")
+        page = block.read(0)
+        assert page.lba == 10
+        assert page.written_at == 1.0
+        assert page.payload == b"x"
+
+    def test_full_block_rejects_program(self, block):
+        for i in range(4):
+            block.program(i, 0.0)
+        assert block.is_full
+        with pytest.raises(ProgramError):
+            block.program(99, 0.0)
+
+    def test_valid_count_tracks_programs(self, block):
+        block.program(0, 0.0)
+        block.program(1, 0.0)
+        assert block.valid_count == 2
+
+    def test_free_pages(self, block):
+        block.program(0, 0.0)
+        assert block.free_pages == 3
+
+
+class TestReadRules:
+    def test_read_unprogrammed_rejected(self, block):
+        with pytest.raises(ReadError):
+            block.read(0)
+
+    def test_read_out_of_range(self, block):
+        with pytest.raises(ReadError):
+            block.read(4)
+
+    def test_read_invalid_page_still_works(self, block):
+        # Old versions must stay readable: recovery depends on it.
+        block.program(7, 0.0, payload=b"old")
+        block.invalidate(0)
+        assert block.read(0).payload == b"old"
+
+
+class TestInvalidate:
+    def test_invalidate_decrements_valid(self, block):
+        block.program(0, 0.0)
+        block.invalidate(0)
+        assert block.valid_count == 0
+        assert block.invalid_count == 1
+
+    def test_double_invalidate_rejected(self, block):
+        block.program(0, 0.0)
+        block.invalidate(0)
+        with pytest.raises(ProgramError):
+            block.invalidate(0)
+
+    def test_invalidate_free_page_rejected(self, block):
+        with pytest.raises(ProgramError):
+            block.invalidate(0)
+
+
+class TestErase:
+    def test_erase_requires_no_valid_pages(self, block):
+        block.program(0, 0.0)
+        with pytest.raises(EraseError):
+            block.erase()
+
+    def test_erase_resets_block(self, block):
+        block.program(0, 0.0)
+        block.invalidate(0)
+        block.erase()
+        assert block.is_empty
+        assert block.erase_count == 1
+        assert block.pages[0].state is PageState.FREE
+        assert block.pages[0].payload is None
+
+    def test_erase_allows_reprogram(self, block):
+        block.program(0, 0.0)
+        block.invalidate(0)
+        block.erase()
+        assert block.program(5, 1.0) == 0
+
+    def test_erase_count_accumulates(self, block):
+        for _ in range(3):
+            block.program(0, 0.0)
+            block.invalidate(0)
+            block.erase()
+        assert block.erase_count == 3

@@ -1,0 +1,103 @@
+"""Online feedback retraining from user alarm decisions."""
+
+import pytest
+
+from repro.blockdev.request import read, write
+from repro.core.config import DetectorConfig
+from repro.core.detector import RansomwareDetector
+from repro.errors import TrainingError
+from repro.train.dataset import Dataset, build_dataset
+from repro.train.online import FeedbackBuffer, OnlineTrainer
+from repro.workloads.scenario import Scenario
+
+
+@pytest.fixture(scope="module")
+def base_dataset() -> Dataset:
+    scenarios = [
+        Scenario("online-ransom", ransomware="wannacry", app="websurfing"),
+        Scenario("online-benign", app="database"),
+    ]
+    return build_dataset(scenarios, seed=5, duration=40.0)
+
+
+def drive_alarm(tree) -> RansomwareDetector:
+    """Feed a read-then-overwrite burst until the detector alarms."""
+    detector = RansomwareDetector(tree=tree)
+    now = 0.0
+    for slice_index in range(6):
+        for i in range(600):
+            lba = slice_index * 600 + i
+            detector.observe(read(now, lba))
+            detector.observe(write(now + 0.0004, lba))
+            now += 1.0 / 600
+    detector.tick(now + 1.0)
+    return detector
+
+
+class TestFeedbackBuffer:
+    def test_dismissal_labels_positive_slices_benign(self, base_dataset):
+        trainer = OnlineTrainer(base_dataset)
+        tree = trainer.refit()
+        detector = drive_alarm(tree)
+        assert detector.alarm_raised
+        trainer.record_dismissal(detector)
+        assert trainer.buffer.dismissals == 1
+        assert len(trainer.buffer) > 0
+        assert all(label == 0 for label in trainer.buffer.labels)
+
+    def test_confirmation_labels_window_malicious(self, base_dataset):
+        trainer = OnlineTrainer(base_dataset)
+        tree = trainer.refit()
+        detector = drive_alarm(tree)
+        trainer.record_confirmation(detector)
+        assert trainer.buffer.confirmations == 1
+        assert all(label == 1 for label in trainer.buffer.labels)
+
+
+class TestOnlineTrainer:
+    def test_refit_counts(self, base_dataset):
+        trainer = OnlineTrainer(base_dataset)
+        trainer.refit()
+        assert trainer.refits == 1
+
+    def test_auto_refit_after_enough_feedback(self, base_dataset):
+        trainer = OnlineTrainer(base_dataset, refit_after=1)
+        tree = trainer.refit()
+        detector = drive_alarm(tree)
+        new_tree = trainer.record_dismissal(detector)
+        assert new_tree is not None
+        assert trainer.refits == 2
+
+    def test_no_refit_below_threshold(self, base_dataset):
+        trainer = OnlineTrainer(base_dataset, refit_after=10_000)
+        tree = trainer.refit()
+        detector = drive_alarm(tree)
+        assert trainer.record_dismissal(detector) is None
+
+    def test_dismissals_suppress_the_false_alarm_pattern(self, base_dataset):
+        """The headline behaviour: after the user dismisses the same alarm
+        a few times, the refitted tree stops firing on that pattern."""
+        trainer = OnlineTrainer(base_dataset, feedback_weight=50,
+                                refit_after=1)
+        tree = trainer.refit()
+        detector = drive_alarm(tree)
+        if not detector.alarm_raised:
+            pytest.skip("base tree did not fire on the synthetic pattern")
+        current = tree
+        for _ in range(4):
+            detector = drive_alarm(current)
+            if not detector.alarm_raised:
+                break
+            refitted = trainer.record_dismissal(detector)
+            assert refitted is not None
+            current = refitted
+        final = drive_alarm(current)
+        assert not final.alarm_raised
+
+    def test_validation(self, base_dataset):
+        with pytest.raises(TrainingError):
+            OnlineTrainer(Dataset())
+        with pytest.raises(TrainingError):
+            OnlineTrainer(base_dataset, feedback_weight=0)
+        with pytest.raises(TrainingError):
+            OnlineTrainer(base_dataset, refit_after=0)

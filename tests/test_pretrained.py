@@ -1,0 +1,44 @@
+"""Bundled pretrained tree: loading, caching, sanity of behaviour."""
+
+from repro.core.config import DetectorConfig
+from repro.core.features import FEATURE_NAMES
+from repro.core.pretrained import PRETRAINED_PATH, clear_cache, default_tree
+
+
+class TestDefaultTree:
+    def test_artifact_exists(self):
+        assert PRETRAINED_PATH.exists()
+
+    def test_loads_and_is_firmware_sized(self, pretrained_tree):
+        assert pretrained_tree.depth() <= DetectorConfig().max_tree_depth
+        assert pretrained_tree.node_count() < 64
+
+    def test_feature_names_match(self, pretrained_tree):
+        assert tuple(pretrained_tree.feature_names) == FEATURE_NAMES
+
+    def test_cached_instance(self):
+        clear_cache()
+        first = default_tree()
+        second = default_tree()
+        assert first is second
+
+    def test_quiet_slice_is_benign(self, pretrained_tree):
+        assert pretrained_tree.predict_one([0, 0, 0, 0, 0, 0]) == 0
+
+    def test_blatant_ransomware_slice_fires(self, pretrained_tree):
+        # Heavy overwriting of freshly read, file-sized runs: OWIO 2000,
+        # OWST ~1, sustained PWIO, short-run AVGWIO.
+        vector = dict(zip(FEATURE_NAMES, [0.0] * 6))
+        vector.update(owio=2000, owst=0.9, pwio=15000, avgwio=16,
+                      owslope=1.2, io=4500)
+        row = [vector[name] for name in FEATURE_NAMES]
+        assert pretrained_tree.predict_one(row) == 1
+
+    def test_wiper_slice_is_benign(self, pretrained_tree):
+        # DoD wiping at steady state: large OWIO but 7x duplicate passes
+        # (low OWST), flat slope, and the wiper's characteristic I/O rate.
+        vector = dict(zip(FEATURE_NAMES, [0.0] * 6))
+        vector.update(owio=1300, owst=0.13, pwio=13000, avgwio=430,
+                      owslope=0.1, io=1500)
+        row = [vector[name] for name in FEATURE_NAMES]
+        assert pretrained_tree.predict_one(row) == 0

@@ -1,0 +1,67 @@
+"""Reduced-error pruning of ID3 trees."""
+
+import numpy as np
+import pytest
+
+from repro.core.id3 import DecisionTree
+from repro.errors import NotFittedError, TrainingError
+
+NAMES = ("a", "b")
+
+
+def noisy_tree():
+    """A tree fit on data with label noise, so it grows spurious leaves."""
+    rng = np.random.default_rng(3)
+    X = rng.random((300, 2)).tolist()
+    y = [int(a > 0.5) for a, _ in X]
+    # 8% label noise on the training copy.
+    y_noisy = [1 - label if rng.random() < 0.08 else label for label in y]
+    tree = DecisionTree(max_depth=8, min_samples_split=2, min_samples_leaf=1,
+                        feature_names=NAMES).fit(X, y_noisy)
+    # Clean validation data from the same concept.
+    Xv = rng.random((200, 2)).tolist()
+    yv = [int(a > 0.5) for a, _ in Xv]
+    return tree, Xv, yv
+
+
+class TestPrune:
+    def test_pruning_shrinks_noisy_tree(self):
+        tree, Xv, yv = noisy_tree()
+        before = tree.node_count()
+        removed = tree.prune(Xv, yv)
+        assert removed > 0
+        assert tree.node_count() == before - removed
+
+    def test_validation_accuracy_never_drops(self):
+        tree, Xv, yv = noisy_tree()
+        accuracy_before = tree.accuracy(Xv, yv)
+        tree.prune(Xv, yv)
+        assert tree.accuracy(Xv, yv) >= accuracy_before
+
+    def test_pruned_tree_still_predicts_binary(self):
+        tree, Xv, yv = noisy_tree()
+        tree.prune(Xv, yv)
+        assert all(tree.predict_one(row) in (0, 1) for row in Xv)
+
+    def test_pure_tree_unchanged(self):
+        X = [[0.0, 0], [1.0, 0], [10.0, 0], [11.0, 0]] * 5
+        y = [0, 0, 1, 1] * 5
+        tree = DecisionTree(min_samples_split=2, min_samples_leaf=1,
+                            feature_names=NAMES).fit(X, y)
+        assert tree.prune(X, y) == 0
+        assert tree.accuracy(X, y) == 1.0
+
+    def test_serialisation_after_pruning(self, tmp_path):
+        tree, Xv, yv = noisy_tree()
+        tree.prune(Xv, yv)
+        path = tmp_path / "pruned.json"
+        tree.save(path)
+        clone = DecisionTree.load(path)
+        assert clone.predict(Xv) == tree.predict(Xv)
+
+    def test_validation(self):
+        tree, Xv, yv = noisy_tree()
+        with pytest.raises(TrainingError):
+            tree.prune([], [])
+        with pytest.raises(NotFittedError):
+            DecisionTree(feature_names=NAMES).prune(Xv, yv)

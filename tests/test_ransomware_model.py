@@ -1,0 +1,136 @@
+"""Ransomware behaviour models: the read-then-overwrite invariant."""
+
+import pytest
+
+from repro.blockdev.trace import Trace
+from repro.workloads.base import LbaRegion
+from repro.workloads.ransomware.base import OverwriteClass, Ransomware
+from repro.workloads.ransomware.profiles import RANSOMWARE_PROFILES, make_ransomware
+from repro.errors import WorkloadError
+
+REGION = LbaRegion(0, 4000)
+
+
+def build(name="wannacry", duration=10.0, **kwargs):
+    return make_ransomware(name, REGION, duration=duration, seed=5, **kwargs)
+
+
+class TestInvariantBehaviour:
+    def test_reads_precede_overwrites(self):
+        """Every overwrite of a victim block is preceded by its read."""
+        attack = build("mole")
+        read_lbas = set()
+        overwrites = 0
+        for request in attack.requests():
+            for unit in request.split():
+                if unit.is_read:
+                    read_lbas.add(unit.lba)
+                elif unit.lba in read_lbas:
+                    overwrites += 1
+        assert overwrites > 100
+
+    def test_in_place_class_overwrites_only_victims(self):
+        attack = Ransomware("x", REGION, blocks_per_second=500.0,
+                            overwrite_class=OverwriteClass.IN_PLACE,
+                            duration=5.0, seed=1)
+        for request in attack.requests():
+            if request.is_write:
+                assert attack.victim_region.contains(request.lba)
+
+    def test_out_of_place_class_writes_ciphertext_copies(self):
+        attack = Ransomware("x", REGION, blocks_per_second=500.0,
+                            overwrite_class=OverwriteClass.OUT_OF_PLACE,
+                            duration=5.0, seed=1)
+        scratch_writes = sum(
+            1 for r in attack.requests()
+            if r.is_write and attack.scratch_region.contains(r.lba)
+        )
+        assert scratch_writes > 0
+
+    def test_every_completed_file_fully_overwritten(self):
+        attack = build("globeimposter", duration=20.0)
+        overwritten = set()
+        for request in attack.requests():
+            if request.is_write:
+                overwritten.update(
+                    lba for lba in request.lbas()
+                    if attack.victim_region.contains(lba)
+                )
+        extents = {e.file_id: e for e in attack.filespace}
+        complete = sum(
+            1 for e in extents.values()
+            if all(lba in overwritten for lba in range(e.start_lba, e.end_lba))
+        )
+        assert complete >= attack.files_encrypted - 1
+
+    def test_requests_time_ordered(self):
+        attack = build("jaff", duration=15.0)
+        Trace(attack.requests())  # Trace enforces ordering on append
+
+    def test_respects_deadline(self):
+        attack = build(duration=5.0)
+        for request in attack.requests():
+            assert request.time < attack.deadline
+
+    def test_deterministic(self):
+        a = [(r.time, r.lba, r.mode) for r in build(duration=5.0).requests()]
+        b = [(r.time, r.lba, r.mode) for r in build(duration=5.0).requests()]
+        assert a == b
+
+    def test_time_scale_slows_attack(self):
+        # A region big enough that neither run finishes all victims.
+        big = LbaRegion(0, 80_000)
+        fast = Trace(make_ransomware("wannacry", big, duration=10.0,
+                                     seed=5).requests())
+        slow = Trace(make_ransomware("wannacry", big, duration=10.0,
+                                     seed=5, time_scale=3.0).requests())
+        assert len(slow) < len(fast)
+
+
+class TestProfiles:
+    def test_all_ten_samples_present(self):
+        assert len(RANSOMWARE_PROFILES) == 10
+        for expected in ("wannacry", "jaff", "mole", "cryptoshield",
+                         "locky.bdf", "locky.bbs", "zerber.ufb",
+                         "globeimposter", "inhouse-inplace",
+                         "inhouse-outplace"):
+            assert expected in RANSOMWARE_PROFILES
+
+    def test_relative_speed_ordering(self):
+        """Fig. 1b: WannaCry/Mole fast, Jaff/CryptoShield slowest."""
+        profiles = RANSOMWARE_PROFILES
+        assert profiles["wannacry"].blocks_per_second > \
+            profiles["zerber.ufb"].blocks_per_second
+        assert profiles["zerber.ufb"].blocks_per_second > \
+            profiles["jaff"].blocks_per_second
+        assert profiles["cryptoshield"].blocks_per_second < \
+            profiles["locky.bdf"].blocks_per_second
+
+    def test_case_insensitive_lookup(self):
+        assert make_ransomware("WannaCry", REGION, seed=1).name == "wannacry"
+
+    def test_unknown_sample_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_ransomware("notpetya", REGION)
+
+    def test_in_house_variants_differ_by_class(self):
+        inplace = RANSOMWARE_PROFILES["inhouse-inplace"]
+        outplace = RANSOMWARE_PROFILES["inhouse-outplace"]
+        assert inplace.overwrite_class is OverwriteClass.IN_PLACE
+        assert outplace.overwrite_class is OverwriteClass.OUT_OF_PLACE
+
+
+class TestValidation:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(WorkloadError):
+            Ransomware("x", REGION, blocks_per_second=0.0)
+
+    def test_rejects_bad_pause_probability(self):
+        with pytest.raises(WorkloadError):
+            Ransomware("x", REGION, blocks_per_second=1.0,
+                       pause_probability=1.5)
+
+    def test_rejects_bad_scratch_fraction(self):
+        with pytest.raises(WorkloadError):
+            Ransomware("x", REGION, blocks_per_second=1.0,
+                       scratch_fraction=0.0)

@@ -1,0 +1,128 @@
+"""Recovery queue: ordering, expiry, pinning, capacity eviction."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ftl.recovery_queue import BackupEntry, RecoveryQueue
+
+
+def entry(lba, old_ppa, timestamp, new_ppa=999):
+    return BackupEntry(lba=lba, old_ppa=old_ppa, new_ppa=new_ppa,
+                       timestamp=timestamp)
+
+
+class TestPushAndOrder:
+    def test_push_pins_old_ppa(self):
+        queue = RecoveryQueue()
+        queue.push(entry(1, 100, 0.0))
+        assert queue.is_pinned(100)
+        assert queue.pinned_count == 1
+
+    def test_first_write_entry_pins_nothing(self):
+        queue = RecoveryQueue()
+        queue.push(entry(1, None, 0.0))
+        assert queue.pinned_count == 0
+        assert len(queue) == 1
+
+    def test_rejects_time_regression(self):
+        queue = RecoveryQueue()
+        queue.push(entry(1, 100, 5.0))
+        with pytest.raises(ConfigError):
+            queue.push(entry(2, 101, 4.0))
+
+    def test_rejects_bad_retention(self):
+        with pytest.raises(ConfigError):
+            RecoveryQueue(retention=0.0)
+
+
+class TestExpiry:
+    def test_expires_only_old_entries(self):
+        queue = RecoveryQueue(retention=10.0)
+        queue.push(entry(1, 100, 0.0))
+        queue.push(entry(2, 101, 5.0))
+        expired = queue.expire(now=12.0)
+        assert [e.lba for e in expired] == [1]
+        assert len(queue) == 1
+        assert not queue.is_pinned(100)
+        assert queue.is_pinned(101)
+
+    def test_expiry_boundary_inclusive(self):
+        queue = RecoveryQueue(retention=10.0)
+        queue.push(entry(1, 100, 0.0))
+        assert len(queue.expire(now=10.0)) == 1
+
+    def test_expire_nothing(self):
+        queue = RecoveryQueue(retention=10.0)
+        queue.push(entry(1, 100, 5.0))
+        assert queue.expire(now=6.0) == []
+
+
+class TestCapacity:
+    def test_eviction_when_full(self):
+        queue = RecoveryQueue(capacity=2)
+        queue.push(entry(1, 100, 0.0))
+        queue.push(entry(2, 101, 1.0))
+        evicted = queue.push(entry(3, 102, 2.0))
+        assert [e.lba for e in evicted] == [1]
+        assert queue.evictions == 1
+        assert not queue.is_pinned(100)
+        assert len(queue) == 2
+
+    def test_no_eviction_below_capacity(self):
+        queue = RecoveryQueue(capacity=4)
+        assert queue.push(entry(1, 100, 0.0)) == []
+        assert queue.evictions == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigError):
+            RecoveryQueue(capacity=0)
+
+
+class TestRepinAndDrain:
+    def test_repin_moves_pin(self):
+        queue = RecoveryQueue()
+        queue.push(entry(1, 100, 0.0))
+        queue.repin(100, 200)
+        assert not queue.is_pinned(100)
+        assert queue.is_pinned(200)
+        # The entry itself was updated in place.
+        assert next(iter(queue)).old_ppa == 200
+
+    def test_repin_unpinned_rejected(self):
+        queue = RecoveryQueue()
+        with pytest.raises(ConfigError):
+            queue.repin(100, 200)
+
+    def test_drain_clears_everything(self):
+        queue = RecoveryQueue()
+        queue.push(entry(1, 100, 0.0))
+        queue.push(entry(2, 101, 1.0))
+        drained = queue.drain()
+        assert [e.lba for e in drained] == [1, 2]
+        assert len(queue) == 0
+        assert queue.pinned_count == 0
+
+    def test_memory_bytes(self):
+        queue = RecoveryQueue()
+        queue.push(entry(1, 100, 0.0))
+        assert queue.memory_bytes() == 12
+
+    def test_selective_drain_keeps_non_matching(self):
+        queue = RecoveryQueue()
+        queue.push(entry(1, 100, 0.0))
+        queue.push(entry(50, 101, 1.0))
+        queue.push(entry(2, 102, 2.0))
+        drained = queue.drain(lambda e: e.lba < 10)
+        assert [e.lba for e in drained] == [1, 2]
+        assert [e.lba for e in queue] == [50]
+        assert queue.is_pinned(101)
+        assert not queue.is_pinned(100) and not queue.is_pinned(102)
+
+    def test_selective_drain_preserves_order_and_push_contract(self):
+        queue = RecoveryQueue()
+        queue.push(entry(1, 100, 0.0))
+        queue.push(entry(50, 101, 1.0))
+        queue.drain(lambda e: e.lba == 1)
+        # Later pushes must still respect the time-order contract.
+        queue.push(entry(51, 103, 2.0))
+        assert [e.lba for e in queue] == [50, 51]

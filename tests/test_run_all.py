@@ -1,0 +1,36 @@
+"""The run-all experiment driver (registry structure only; running all
+experiments takes minutes and is the benchmark suite's job)."""
+
+from pathlib import Path
+
+from repro.experiments import run_all
+
+
+class TestRegistry:
+    def test_every_paper_artifact_present(self):
+        names = {name for name, _ in run_all.EXPERIMENTS}
+        for expected in ("table1_catalog", "fig1_overwriting",
+                         "fig2_features", "fig4_score", "fig7_accuracy",
+                         "table2_consistency", "fig8_latency", "fig9_gc_90",
+                         "fig9_gc_70", "table3_dram", "claims_headline"):
+            assert expected in names
+
+    def test_extensions_present(self):
+        names = {name for name, _ in run_all.EXPERIMENTS}
+        for expected in ("ablation_features", "ablation_classifier",
+                         "ablation_window", "ablation_gc", "evasion_sweep"):
+            assert expected in names
+
+    def test_runners_are_callable(self):
+        for _, runner in run_all.EXPERIMENTS:
+            assert callable(runner)
+
+    def test_single_experiment_writes_file(self, tmp_path, monkeypatch):
+        # Drive main() with the registry shrunk to the cheapest entry.
+        monkeypatch.setattr(
+            run_all, "EXPERIMENTS",
+            tuple((n, r) for n, r in run_all.EXPERIMENTS
+                  if n == "table1_catalog"),
+        )
+        assert run_all.main(str(tmp_path)) == 0
+        assert (tmp_path / "table1_catalog.txt").read_text().strip()

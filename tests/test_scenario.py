@@ -1,0 +1,119 @@
+"""Scenario composition and the Table I catalog."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.catalog import (
+    RANSOM_ONLY,
+    TESTING_SCENARIOS,
+    TRAINING_SCENARIOS,
+)
+from repro.workloads.catalog import testing_scenarios as get_testing_scenarios
+from repro.workloads.catalog import training_scenarios as get_training_scenarios
+from repro.workloads.scenario import Scenario
+
+
+class TestScenarioBuild:
+    def test_merges_both_streams(self):
+        scenario = Scenario("x", ransomware="wannacry", app="websurfing")
+        run = scenario.build(seed=1, duration=25.0)
+        sources = run.trace.sources()
+        assert "wannacry" in sources and "websurfing" in sources
+
+    def test_time_ordering(self):
+        scenario = Scenario("x", ransomware="mole", app="database")
+        run = scenario.build(seed=2, duration=20.0)
+        times = [r.time for r in run.trace]
+        assert times == sorted(times)
+
+    def test_onset_randomised_but_deterministic(self):
+        scenario = Scenario("x", ransomware="wannacry", app="websurfing")
+        a = scenario.build(seed=1, duration=40.0)
+        b = scenario.build(seed=1, duration=40.0)
+        c = scenario.build(seed=2, duration=40.0)
+        assert a.onset == b.onset
+        assert a.onset != c.onset
+
+    def test_no_ransomware_before_onset(self):
+        scenario = Scenario("x", ransomware="wannacry", app="websurfing")
+        run = scenario.build(seed=3, duration=40.0)
+        first = min(r.time for r in run.trace if r.source == "wannacry")
+        assert first >= run.onset
+
+    def test_benign_variant_excludes_sample(self):
+        scenario = Scenario("x", ransomware="wannacry", app="websurfing")
+        run = scenario.build(seed=1, duration=20.0, include_ransomware=False)
+        assert run.ransomware is None
+        assert "wannacry" not in run.trace.sources()
+
+    def test_active_slices_cover_attack(self):
+        scenario = Scenario("x", ransomware="wannacry", app=None)
+        run = scenario.build(seed=4, duration=40.0)
+        assert run.active_slices
+        assert min(run.active_slices) >= int(run.onset)
+
+    def test_slice_labels_length(self):
+        scenario = Scenario("x", ransomware="wannacry", app=None)
+        run = scenario.build(seed=4, duration=40.0)
+        labels = run.slice_labels(1.0)
+        assert len(labels) == 40
+        assert sum(labels) == len([i for i in run.active_slices if i < 40])
+
+    def test_regions_disjoint(self):
+        """Ransomware and the app must not collide on LBAs."""
+        scenario = Scenario("x", ransomware="mole", app="database")
+        run = scenario.build(seed=5, duration=20.0, num_lbas=50_000)
+        app_lbas = {r.lba for r in run.trace if r.source == "database"}
+        ransom_lbas = {r.lba for r in run.trace if r.source == "mole"}
+        assert not (app_lbas & ransom_lbas)
+
+    def test_extra_slowdown_stretches_sample(self):
+        base = Scenario("x", ransomware="mole", app=None).build(
+            seed=6, duration=30.0
+        )
+        slowed = Scenario("x", ransomware="mole", app=None,
+                          extra_slowdown=3.0).build(seed=6, duration=30.0)
+        assert len(slowed.trace) < len(base.trace)
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(WorkloadError):
+            Scenario("nothing")
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(WorkloadError):
+            Scenario("x", app="minesweeper")
+
+
+class TestCatalog:
+    def test_paper_counts(self):
+        assert len(TRAINING_SCENARIOS) == 13
+        assert len(TESTING_SCENARIOS) == 12
+
+    def test_no_test_ransomware_in_training(self):
+        """The paper stresses testing uses unknown samples only."""
+        train_samples = {s.ransomware for s in TRAINING_SCENARIOS
+                         if s.ransomware}
+        test_samples = {s.ransomware for s in TESTING_SCENARIOS
+                        if s.ransomware}
+        assert not (train_samples & test_samples)
+
+    def test_every_test_row_has_ransomware(self):
+        assert all(s.ransomware for s in TESTING_SCENARIOS)
+
+    def test_category_filter(self):
+        heavy = get_testing_scenarios("heavy_overwrite")
+        assert len(heavy) == 3
+        assert all(s.category == "heavy_overwrite" for s in heavy)
+
+    def test_training_has_benign_only_rows(self):
+        benign_rows = [s for s in TRAINING_SCENARIOS if s.ransomware is None]
+        assert len(benign_rows) == 5
+
+    def test_ransom_only_rows(self):
+        assert TRAINING_SCENARIOS[0].category == RANSOM_ONLY
+        assert TESTING_SCENARIOS[0].category == RANSOM_ONLY
+
+    def test_lists_are_copies(self):
+        rows = get_training_scenarios()
+        rows.pop()
+        assert len(get_training_scenarios()) == 13

@@ -1,0 +1,49 @@
+"""Window-score accumulator (Fig. 4 semantics)."""
+
+import pytest
+
+from repro.core.score import ScoreTracker
+from repro.errors import ConfigError
+
+
+class TestScoreTracker:
+    def test_accumulates(self):
+        tracker = ScoreTracker(10)
+        for expected in (1, 2, 3):
+            assert tracker.push(1) == expected
+
+    def test_zero_verdicts_keep_score(self):
+        tracker = ScoreTracker(10)
+        tracker.push(1)
+        assert tracker.push(0) == 1
+
+    def test_window_slide_decays(self):
+        tracker = ScoreTracker(3)
+        tracker.push(1)
+        tracker.push(1)
+        tracker.push(1)
+        # The oldest 1 falls out as the window slides.
+        assert tracker.push(0) == 2
+        assert tracker.push(0) == 1
+        assert tracker.push(0) == 0
+
+    def test_score_bounded_by_window(self):
+        tracker = ScoreTracker(5)
+        for _ in range(20):
+            tracker.push(1)
+        assert tracker.score == 5
+
+    def test_reset(self):
+        tracker = ScoreTracker(5)
+        tracker.push(1)
+        tracker.reset()
+        assert tracker.score == 0
+        assert len(tracker) == 0
+
+    def test_rejects_bad_verdict(self):
+        with pytest.raises(ConfigError):
+            ScoreTracker(5).push(2)
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ConfigError):
+            ScoreTracker(0)

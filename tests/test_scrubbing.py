@@ -1,0 +1,97 @@
+"""Read-disturb counters and the scrubber."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ftl.conventional import ConventionalFTL
+from repro.ftl.insider import InsiderFTL
+from repro.ftl.scrub import ReadScrubber, ScrubConfig
+from repro.nand.array import NandArray
+from repro.nand.geometry import NandGeometry
+
+
+def make_ftl(insider=False):
+    nand = NandArray(NandGeometry(channels=1, ways=1, blocks_per_chip=12,
+                                  pages_per_block=8))
+    cls = InsiderFTL if insider else ConventionalFTL
+    return cls(nand, op_ratio=0.45)
+
+
+class TestReadCounters:
+    def test_reads_accumulate(self, tiny_nand):
+        ppa = tiny_nand.program(0, lba=1, timestamp=0.0)
+        for _ in range(5):
+            tiny_nand.read(ppa)
+        assert tiny_nand.block(0).reads_since_erase == 5
+
+    def test_erase_resets_counter(self, tiny_nand):
+        ppa = tiny_nand.program(0, lba=1, timestamp=0.0)
+        tiny_nand.read(ppa)
+        tiny_nand.invalidate(ppa)
+        tiny_nand.erase(0)
+        assert tiny_nand.block(0).reads_since_erase == 0
+
+
+class TestScrubber:
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ScrubConfig(read_limit=0)
+        with pytest.raises(ConfigError):
+            ScrubConfig(max_per_sweep=0)
+
+    def test_hot_read_block_becomes_due(self):
+        ftl = make_ftl()
+        for lba in range(ftl.num_lbas):
+            ftl.write(lba, 0.0, b"x")
+        scrubber = ReadScrubber(ftl, ScrubConfig(read_limit=50))
+        for _ in range(60):
+            ftl.read(0)
+        assert scrubber.due_blocks()
+
+    def test_sweep_relocates_and_resets(self):
+        ftl = make_ftl()
+        for lba in range(ftl.num_lbas):
+            ftl.write(lba, 0.0, b"lba%d" % lba)
+        scrubber = ReadScrubber(ftl, ScrubConfig(read_limit=50))
+        hot_lba = 0
+        for _ in range(60):
+            ftl.read(hot_lba)
+        due_before = scrubber.due_blocks()
+        assert due_before
+        moved = scrubber.sweep()
+        assert moved >= 1
+        assert scrubber.scrubbed == moved
+        # The data survived the relocation.
+        for lba in range(ftl.num_lbas):
+            assert ftl.read(lba).payload == b"lba%d" % lba
+
+    def test_sweep_bounded_per_call(self):
+        ftl = make_ftl()
+        for lba in range(ftl.num_lbas):
+            ftl.write(lba, 0.0, b"y")
+        scrubber = ReadScrubber(ftl, ScrubConfig(read_limit=10,
+                                                 max_per_sweep=1))
+        for lba in range(ftl.num_lbas):
+            for _ in range(12):
+                ftl.read(lba)
+        assert scrubber.sweep() <= 1
+
+    def test_nothing_due_nothing_moved(self):
+        ftl = make_ftl()
+        ftl.write(0, 0.0, b"z")
+        scrubber = ReadScrubber(ftl)
+        assert scrubber.sweep() == 0
+
+    def test_insider_pins_survive_scrub(self):
+        ftl = make_ftl(insider=True)
+        for lba in range(ftl.num_lbas):
+            ftl.write(lba, 0.0, b"orig%d" % lba)
+        for lba in range(4):
+            ftl.write(lba, 1.0, b"new%d" % lba)
+        scrubber = ReadScrubber(ftl, ScrubConfig(read_limit=20))
+        for _ in range(25):
+            ftl.read(10)
+        scrubber.sweep()
+        ftl.rollback(now=2.0)
+        for lba in range(4):
+            assert ftl.read(lba).payload == b"orig%d" % lba

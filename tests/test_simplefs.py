@@ -1,0 +1,179 @@
+"""SimpleFS: format/mount, file operations, on-disk consistency."""
+
+import pytest
+
+from repro.errors import (
+    FileNotFoundFsError,
+    FilesystemError,
+    FsFullError,
+)
+from repro.fs.layout import FsLayout, decode_block, encode_block
+from repro.fs.inode import Inode
+from repro.fs.simplefs import SimpleFS
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SimulatedSSD
+from repro.units import BLOCK_SIZE
+
+
+@pytest.fixture
+def device() -> SimulatedSSD:
+    return SimulatedSSD(SSDConfig.tiny(detector_enabled=False))
+
+
+@pytest.fixture
+def fs(device) -> SimpleFS:
+    filesystem = SimpleFS(device, num_inodes=16)
+    filesystem.format()
+    return filesystem
+
+
+class TestLayout:
+    def test_regions_ordered_and_disjoint(self):
+        layout = FsLayout(total_blocks=1000, num_inodes=64)
+        assert layout.superblock_lba == 0
+        assert layout.bitmap_start == 1
+        assert layout.inode_start == layout.bitmap_start + layout.bitmap_blocks
+        assert layout.data_start == layout.inode_start + layout.inode_blocks
+        assert layout.data_blocks > 0
+
+    def test_inode_block_of(self):
+        layout = FsLayout(total_blocks=1000, num_inodes=64)
+        assert layout.inode_block_of(0) == layout.inode_start
+        assert layout.inode_block_of(16) == layout.inode_start + 1
+
+    def test_rejects_tiny_device(self):
+        with pytest.raises(FilesystemError):
+            FsLayout(total_blocks=4, num_inodes=4)
+
+    def test_metadata_block_roundtrip(self):
+        record = {"magic": "X", "free": 7}
+        block = encode_block(record)
+        assert len(block) == BLOCK_SIZE
+        assert decode_block(block) == record
+
+    def test_oversized_record_rejected(self):
+        with pytest.raises(FilesystemError):
+            encode_block({"data": "x" * BLOCK_SIZE})
+
+    def test_inode_record_roundtrip(self):
+        inode = Inode(index=3, used=True, name="f", size_bytes=10,
+                      block_count=1, blocks=[99], mtime=4.5)
+        rebuilt = Inode.from_record(3, inode.to_record())
+        assert rebuilt == inode
+
+    def test_free_inode_record_compact(self):
+        assert Inode(index=0).to_record() == {"u": 0}
+
+
+class TestFileOperations:
+    def test_create_and_read(self, fs):
+        fs.create("a.txt", b"hello world")
+        assert fs.read_file("a.txt") == b"hello world"
+
+    def test_multi_block_file(self, fs):
+        data = bytes(range(256)) * 64  # 16 KiB -> 4 blocks
+        fs.create("big.bin", data)
+        assert fs.read_file("big.bin") == data
+        assert fs.stat("big.bin").block_count == 4
+
+    def test_empty_file_gets_one_block(self, fs):
+        fs.create("empty", b"")
+        assert fs.stat("empty").block_count == 1
+        assert fs.read_file("empty") == b""
+
+    def test_duplicate_name_rejected(self, fs):
+        fs.create("a", b"1")
+        with pytest.raises(FilesystemError):
+            fs.create("a", b"2")
+
+    def test_missing_file(self, fs):
+        with pytest.raises(FileNotFoundFsError):
+            fs.read_file("ghost")
+
+    def test_overwrite_same_size(self, fs):
+        fs.create("a", b"v1")
+        blocks_before = list(fs.stat("a").blocks)
+        fs.overwrite("a", b"v2")
+        assert fs.read_file("a") == b"v2"
+        assert fs.stat("a").blocks == blocks_before  # true in-place
+
+    def test_overwrite_grow(self, fs):
+        fs.create("a", b"small")
+        fs.overwrite("a", b"x" * (BLOCK_SIZE + 1))
+        assert fs.stat("a").block_count == 2
+        assert fs.read_file("a") == b"x" * (BLOCK_SIZE + 1)
+
+    def test_delete_frees_space(self, fs):
+        free_before = fs.free_blocks
+        fs.create("a", b"x" * BLOCK_SIZE * 3)
+        fs.delete("a")
+        assert fs.free_blocks == free_before
+        assert "a" not in fs.list_files()
+
+    def test_list_files(self, fs):
+        fs.create("a", b"1")
+        fs.create("b", b"2")
+        assert sorted(fs.list_files()) == ["a", "b"]
+
+    def test_inode_exhaustion(self, fs):
+        for index in range(16):
+            fs.create(f"f{index}", b"x")
+        with pytest.raises(FsFullError):
+            fs.create("one-too-many", b"x")
+
+    def test_space_exhaustion(self, fs):
+        with pytest.raises(FsFullError):
+            fs.create("huge", b"x" * (fs.free_blocks + 1) * BLOCK_SIZE)
+
+    def test_unmounted_rejected(self, device):
+        filesystem = SimpleFS(device)
+        with pytest.raises(FilesystemError):
+            filesystem.create("a", b"x")
+
+    def test_append(self, fs):
+        fs.create("log", b"line1\n")
+        fs.append("log", b"line2\n")
+        assert fs.read_file("log") == b"line1\nline2\n"
+
+    def test_append_grows_blocks(self, fs):
+        fs.create("log", b"x" * 100)
+        fs.append("log", b"y" * BLOCK_SIZE)
+        assert fs.stat("log").block_count == 2
+
+    def test_rename(self, fs):
+        fs.create("old", b"content")
+        fs.rename("old", "new")
+        assert fs.read_file("new") == b"content"
+        assert "old" not in fs.list_files()
+
+    def test_rename_to_existing_rejected(self, fs):
+        fs.create("a", b"1")
+        fs.create("b", b"2")
+        with pytest.raises(FilesystemError):
+            fs.rename("a", "b")
+
+    def test_rename_persists_across_mount(self, fs, device):
+        fs.create("old", b"data")
+        fs.rename("old", "new")
+        remounted = SimpleFS(device, num_inodes=16)
+        remounted.mount()
+        assert remounted.read_file("new") == b"data"
+
+
+class TestPersistence:
+    def test_mount_rereads_state(self, fs, device):
+        fs.create("persisted", b"data survives remount")
+        remounted = SimpleFS(device, num_inodes=16)
+        remounted.mount()
+        assert remounted.read_file("persisted") == b"data survives remount"
+        assert remounted.free_blocks == fs.free_blocks
+
+    def test_mount_without_format_rejected(self, device):
+        filesystem = SimpleFS(device)
+        with pytest.raises(FilesystemError):
+            filesystem.mount()
+
+    def test_operations_advance_device_clock(self, fs, device):
+        before = device.clock.now
+        fs.create("a", b"x" * BLOCK_SIZE * 4)
+        assert device.clock.now > before

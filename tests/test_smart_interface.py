@@ -1,0 +1,107 @@
+"""SMART reporting and the host command handshake."""
+
+import pytest
+
+from repro.core.detector import RansomwareDetector
+from repro.core.id3 import DecisionTree, TreeNode
+from repro.errors import DeviceError
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SimulatedSSD
+from repro.ssd.smart import (
+    ATTR_ALARM,
+    ATTR_QUEUE_DEPTH,
+    ATTR_RECOVERIES,
+    ATTR_SCORE,
+    CommandResult,
+    HostCommand,
+    HostCommandInterface,
+    smart_report,
+)
+
+
+def constant_tree(label: int) -> DecisionTree:
+    tree = DecisionTree()
+    tree.root = TreeNode(label=label)
+    return tree
+
+
+@pytest.fixture
+def quiet_device() -> SimulatedSSD:
+    return SimulatedSSD(SSDConfig.tiny(), tree=constant_tree(0))
+
+
+@pytest.fixture
+def alarmed_device() -> SimulatedSSD:
+    device = SimulatedSSD(SSDConfig.tiny(), tree=constant_tree(1))
+    device.write(1, b"data", now=0.5)
+    device.tick(20.0)
+    assert device.alarm_raised
+    return device
+
+
+class TestSmartReport:
+    def test_quiet_device_attributes(self, quiet_device):
+        quiet_device.write(1, b"x", now=0.5)
+        quiet_device.write(1, b"y", now=0.6)
+        report = smart_report(quiet_device)
+        assert report[ATTR_ALARM] == 0
+        assert report[ATTR_SCORE] == 0
+        assert report[ATTR_QUEUE_DEPTH] == 2
+        assert report[ATTR_RECOVERIES] == 0
+
+    def test_alarm_visible(self, alarmed_device):
+        report = smart_report(alarmed_device)
+        assert report[ATTR_ALARM] == 1
+        assert report[ATTR_SCORE] >= 3
+
+    def test_detectorless_device(self):
+        device = SimulatedSSD(SSDConfig.tiny(detector_enabled=False))
+        assert smart_report(device)[ATTR_SCORE] == 0
+
+
+class TestHostCommands:
+    def test_query_alarm(self, alarmed_device):
+        host = HostCommandInterface(alarmed_device)
+        result = host.execute(HostCommand.QUERY_ALARM)
+        assert result.ok and result.data["alarm"] is True
+
+    def test_alarm_details(self, alarmed_device):
+        host = HostCommandInterface(alarmed_device)
+        result = host.execute(HostCommand.ALARM_DETAILS)
+        assert result.ok
+        assert result.data["score"] >= result.data["threshold"]
+        assert result.data["read_only"] is True
+        assert "owio" in result.data["features"]
+
+    def test_details_without_alarm(self, quiet_device):
+        host = HostCommandInterface(quiet_device)
+        assert not host.execute(HostCommand.ALARM_DETAILS).ok
+
+    def test_approve_recovery_flow(self, alarmed_device):
+        host = HostCommandInterface(alarmed_device)
+        result = host.execute(HostCommand.APPROVE_RECOVERY)
+        assert result.ok
+        assert result.data["reboot_required"] is True
+        assert not alarmed_device.alarm_raised
+        assert not alarmed_device.read_only
+        assert smart_report(alarmed_device)[ATTR_RECOVERIES] == 1
+
+    def test_approve_without_alarm_refused(self, quiet_device):
+        host = HostCommandInterface(quiet_device)
+        assert not host.execute(HostCommand.APPROVE_RECOVERY).ok
+
+    def test_dismiss_clears_lockdown(self, alarmed_device):
+        host = HostCommandInterface(alarmed_device)
+        result = host.execute(HostCommand.DISMISS_ALARM)
+        assert result.ok
+        assert not alarmed_device.read_only
+
+    def test_smart_read_command(self, quiet_device):
+        host = HostCommandInterface(quiet_device)
+        result = host.execute(HostCommand.SMART_READ)
+        assert result.ok and ATTR_ALARM in result.data
+
+    def test_unknown_command_rejected(self, quiet_device):
+        host = HostCommandInterface(quiet_device)
+        with pytest.raises(DeviceError):
+            host.execute("format_c")  # not a HostCommand

@@ -1,0 +1,27 @@
+"""Terminal sparkline rendering."""
+
+from repro.analysis.report import render_sparkline
+
+
+class TestRenderSparkline:
+    def test_empty(self):
+        assert render_sparkline([]) == ""
+
+    def test_flat_zero_series(self):
+        assert render_sparkline([0, 0, 0]) == "▁▁▁"
+
+    def test_peak_maps_to_full_block(self):
+        line = render_sparkline([0, 5, 10])
+        assert line[-1] == "█"
+        assert line[0] == "▁"
+
+    def test_monotone_series_monotone_glyphs(self):
+        line = render_sparkline(list(range(8)))
+        assert list(line) == sorted(line, key="▁▂▃▄▅▆▇█".index)
+
+    def test_long_series_bucketed_to_width(self):
+        line = render_sparkline(list(range(1000)), width=40)
+        assert len(line) == 40
+
+    def test_short_series_not_padded(self):
+        assert len(render_sparkline([1, 2], width=40)) == 2

@@ -1,0 +1,110 @@
+"""A day-in-the-life soak: the device survives a realistic multi-phase
+story without a single false alarm, then survives the real thing."""
+
+import pytest
+
+from repro.fs import FilesystemRansomware, SimpleFS, fsck, looks_encrypted
+from repro.nand.geometry import NandGeometry
+from repro.rand import derive_rng
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SimulatedSSD
+from repro.workloads.scenario import Scenario
+
+
+@pytest.fixture(scope="module")
+def story(pretrained_tree):
+    """Run the whole story once; the tests assert different phases."""
+    config = SSDConfig(
+        geometry=NandGeometry(channels=2, ways=4, blocks_per_chip=128,
+                              pages_per_block=64),
+        queue_capacity=16_000,
+    )
+    device = SimulatedSSD(config, tree=pretrained_tree)
+    fs = SimpleFS(device, num_inodes=1024, metadata_flush_interval=4.0)
+    fs.format()
+    rng = derive_rng(2026, "story")
+    log = {"false_alarm_phases": []}
+
+    # Phase 1: install the user's documents.
+    originals = {}
+    for index in range(450):
+        data = (f"Document {index}: ".encode() * 5_000)[
+            : int(rng.integers(6_000, 60_000))
+        ]
+        fs.create(f"doc{index:04d}", data)
+        originals[f"doc{index:04d}"] = data
+    if device.alarm_raised:
+        log["false_alarm_phases"].append("install")
+
+    # Phase 2: a morning of office work — edits, saves, deletions.
+    device.tick(device.clock.now + 12.0)
+    for round_number in range(25):
+        name = f"doc{int(rng.integers(0, 450)):04d}"
+        content = fs.read_file(name)
+        fs.overwrite(name, content + b" [edited]")
+        originals[name] = content + b" [edited]"
+        device.tick(device.clock.now + float(rng.uniform(0.3, 1.2)))
+    if device.alarm_raised:
+        log["false_alarm_phases"].append("office-work")
+
+    # Phase 3: a backup job reads everything (no writes).
+    for name in sorted(originals):
+        fs.read_file(name)
+    if device.alarm_raised:
+        log["false_alarm_phases"].append("backup")
+
+    # Phase 4: quiet evening.
+    device.tick(device.clock.now + 20.0)
+    if device.alarm_raised:
+        log["false_alarm_phases"].append("idle")
+
+    # Phase 5: the attack.
+    attacker = FilesystemRansomware(fs, in_place=bool(rng.integers(0, 2)),
+                                    seed=9)
+    encrypted = attacker.run(stop_when=lambda: device.alarm_raised)
+    log["attack_detected"] = device.alarm_raised
+    log["files_encrypted_before_alarm"] = encrypted
+
+    # Phase 6: recovery + fsck + audit.
+    if device.alarm_raised:
+        device.recover()
+    log["fsck"] = fsck(device)
+    audit = SimpleFS(device, num_inodes=1024)
+    audit.mount()
+    encrypted_left = mismatched = 0
+    for name, data in originals.items():
+        content = audit.read_file(name)
+        if looks_encrypted(content):
+            encrypted_left += 1
+        elif content != data:
+            mismatched += 1
+    log["encrypted_left"] = encrypted_left
+    log["mismatched"] = mismatched
+    log["device"] = device
+    log["audit_fs"] = audit
+    return log
+
+
+class TestStory:
+    def test_no_false_alarms_through_the_day(self, story):
+        assert story["false_alarm_phases"] == []
+
+    def test_attack_detected_before_finishing(self, story):
+        assert story["attack_detected"]
+        assert story["files_encrypted_before_alarm"] < 450
+
+    def test_all_corruption_resolved(self, story):
+        assert story["fsck"].repaired
+
+    def test_no_encrypted_files_left(self, story):
+        assert story["encrypted_left"] == 0
+
+    def test_every_document_back_including_morning_edits(self, story):
+        assert story["mismatched"] == 0
+
+    def test_life_goes_on(self, story):
+        """After recovery the user keeps working on the same filesystem."""
+        audit = story["audit_fs"]
+        audit.create("post-incident-report", b"we were attacked; we lost nothing")
+        assert audit.read_file("post-incident-report").startswith(b"we were")
+        assert not story["device"].alarm_raised

@@ -1,0 +1,94 @@
+"""The CLI utilities: tracegen, traceinfo, detect."""
+
+import pytest
+
+from repro.tools import detect, tracegen, traceinfo
+
+
+@pytest.fixture
+def attack_trace(tmp_path):
+    path = tmp_path / "attack.jsonl"
+    code = tracegen.main([
+        "--ransomware", "wannacry", "--duration", "30",
+        "--seed", "7", "--output", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+@pytest.fixture
+def benign_trace(tmp_path):
+    path = tmp_path / "benign.jsonl"
+    code = tracegen.main([
+        "--app", "websurfing", "--duration", "25",
+        "--seed", "7", "--output", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestTracegen:
+    def test_writes_trace(self, attack_trace, capsys):
+        assert attack_trace.exists()
+        assert attack_trace.stat().st_size > 0
+
+    def test_requires_a_workload(self):
+        with pytest.raises(SystemExit):
+            tracegen.main(["--output", "x.jsonl"])
+
+    def test_unknown_sample_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            tracegen.main([
+                "--ransomware", "notpetya",
+                "--output", str(tmp_path / "x.jsonl"),
+            ])
+
+    def test_deterministic(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        for path in (a, b):
+            tracegen.main(["--app", "database", "--duration", "10",
+                           "--seed", "3", "--output", str(path)])
+        assert a.read_text() == b.read_text()
+
+
+class TestTraceinfo:
+    def test_summarises(self, attack_trace, capsys):
+        assert traceinfo.main([str(attack_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "requests" in out
+        assert "overwrite rate" in out
+        assert "wannacry" in out
+
+
+class TestDetect:
+    def test_alarms_on_attack_trace(self, attack_trace, capsys):
+        code = detect.main([str(attack_trace), "--quiet"])
+        assert code == 2
+        assert "ALARM" in capsys.readouterr().out
+
+    def test_clean_on_benign_trace(self, benign_trace, capsys):
+        code = detect.main([str(benign_trace), "--quiet"])
+        assert code == 0
+        assert "no ransomware" in capsys.readouterr().out
+
+    def test_timeline_printed(self, attack_trace, capsys):
+        detect.main([str(attack_trace)])
+        out = capsys.readouterr().out
+        assert "slice" in out and "score" in out
+
+    def test_custom_threshold(self, attack_trace):
+        # Threshold 10 needs ten positive slices in a 30 s run with a
+        # mid-run onset — the fast sample still reaches it.
+        code = detect.main([str(attack_trace), "--quiet",
+                            "--threshold", "10"])
+        assert code in (0, 2)
+
+    def test_custom_tree_file(self, attack_trace, tmp_path):
+        from repro.core.pretrained import default_tree
+
+        tree_path = tmp_path / "tree.json"
+        default_tree().save(tree_path)
+        code = detect.main([str(attack_trace), "--quiet",
+                            "--tree", str(tree_path)])
+        assert code == 2

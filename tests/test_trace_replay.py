@@ -1,0 +1,82 @@
+"""Trace replay as a workload."""
+
+import pytest
+
+from repro.blockdev.request import read, write
+from repro.blockdev.trace import Trace
+from repro.errors import WorkloadError
+from repro.workloads.base import LbaRegion
+from repro.workloads.replay import TraceReplay
+
+
+@pytest.fixture
+def recording() -> Trace:
+    return Trace([
+        read(5.0, 100, length=2, source="orig"),
+        write(6.0, 100, length=2, source="orig"),
+        read(7.0, 5000, source="orig"),
+    ])
+
+
+class TestTraceReplay:
+    def test_shifts_to_start(self, recording):
+        replay = TraceReplay(recording, start=20.0)
+        times = [r.time for r in replay.requests()]
+        assert times == [20.0, 21.0, 22.0]
+
+    def test_time_scale_stretches(self, recording):
+        replay = TraceReplay(recording, start=0.0, time_scale=2.0)
+        times = [r.time for r in replay.requests()]
+        assert times == [0.0, 2.0, 4.0]
+        assert replay.duration == pytest.approx(4.0)
+
+    def test_relabels_source(self, recording):
+        replay = TraceReplay(recording, name="replayed")
+        assert all(r.source == "replayed" for r in replay.requests())
+
+    def test_keeps_labels_by_default(self, recording):
+        replay = TraceReplay(recording)
+        assert all(r.source == "orig" for r in replay.requests())
+
+    def test_region_remap(self, recording):
+        replay = TraceReplay(recording, region=LbaRegion(10, 1000))
+        lbas = [r.lba for r in replay.requests()]
+        assert all(10 <= lba < 1010 for lba in lbas)
+        # 5000 % 1000 = 0 -> region.start
+        assert lbas[2] == 10
+
+    def test_empty_trace(self):
+        assert list(TraceReplay(Trace()).requests()) == []
+
+    def test_validation(self, recording):
+        with pytest.raises(WorkloadError):
+            TraceReplay(recording, time_scale=0.0)
+        with pytest.raises(WorkloadError):
+            TraceReplay(recording, start=-1.0)
+
+    def test_composes_into_merged_streams(self, recording):
+        from repro.blockdev.mixer import merge_streams
+
+        a = TraceReplay(recording, name="a", start=0.0)
+        b = TraceReplay(recording, name="b", start=1.5)
+        merged = Trace(merge_streams([a.requests(), b.requests()]))
+        assert len(merged) == 6
+        assert merged.sources() == {"a": 3, "b": 3}
+
+    def test_replay_through_detector_reproduces_verdicts(self, pretrained_tree):
+        """Replaying a recorded attack yields the same detection outcome
+        as the original run."""
+        from repro.core.detector import RansomwareDetector
+        from repro.workloads.scenario import Scenario
+
+        run = Scenario("rec", ransomware="wannacry", onset=8.0).build(
+            seed=77, duration=30.0
+        )
+        original = RansomwareDetector(tree=pretrained_tree)
+        for request in run.trace:
+            original.observe(request)
+        replayed = RansomwareDetector(tree=pretrained_tree)
+        for request in TraceReplay(run.trace, start=run.trace.start_time).requests():
+            replayed.observe(request)
+        assert (original.alarm_raised, original.score) == \
+            (replayed.alarm_raised, replayed.score)

@@ -1,0 +1,74 @@
+"""Workload plumbing: regions, timing, determinism."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.base import LbaRegion
+from repro.workloads.filespace import FileSpace
+from repro.rand import derive_rng
+
+
+class TestLbaRegion:
+    def test_bounds(self):
+        region = LbaRegion(10, 5)
+        assert region.end == 15
+        assert region.contains(10) and region.contains(14)
+        assert not region.contains(15) and not region.contains(9)
+
+    def test_sub_region(self):
+        region = LbaRegion(10, 10)
+        sub = region.sub(2, 3)
+        assert sub.start == 12 and sub.length == 3
+
+    def test_sub_region_overflow_rejected(self):
+        with pytest.raises(WorkloadError):
+            LbaRegion(0, 10).sub(5, 6)
+
+    def test_rejects_bad_region(self):
+        with pytest.raises(WorkloadError):
+            LbaRegion(-1, 5)
+        with pytest.raises(WorkloadError):
+            LbaRegion(0, 0)
+
+
+class TestFileSpace:
+    def test_files_fill_region(self):
+        region = LbaRegion(0, 1000)
+        space = FileSpace(region, derive_rng(1, "fs"))
+        assert len(space) > 10
+        assert space.total_blocks <= region.length
+
+    def test_files_are_disjoint_and_in_region(self):
+        region = LbaRegion(100, 2000)
+        space = FileSpace(region, derive_rng(2, "fs"))
+        seen = set()
+        for extent in space:
+            for lba in range(extent.start_lba, extent.end_lba):
+                assert lba not in seen
+                assert region.contains(lba)
+                seen.add(lba)
+
+    def test_max_blocks_respected(self):
+        space = FileSpace(LbaRegion(0, 5000), derive_rng(3, "fs"),
+                          max_blocks=32)
+        assert all(extent.length <= 32 for extent in space)
+
+    def test_deterministic_from_seed(self):
+        a = FileSpace(LbaRegion(0, 1000), derive_rng(4, "fs"))
+        b = FileSpace(LbaRegion(0, 1000), derive_rng(4, "fs"))
+        assert [(e.start_lba, e.length) for e in a] == \
+            [(e.start_lba, e.length) for e in b]
+
+    def test_shuffled_is_permutation(self):
+        space = FileSpace(LbaRegion(0, 500), derive_rng(5, "fs"))
+        order = space.shuffled(derive_rng(5, "order"))
+        assert sorted(e.file_id for e in order) == [e.file_id for e in space]
+
+    def test_sample_returns_member(self):
+        space = FileSpace(LbaRegion(0, 500), derive_rng(6, "fs"))
+        extent = space.sample(derive_rng(6, "pick"))
+        assert extent in list(space)
+
+    def test_tiny_region_rejected(self):
+        with pytest.raises(WorkloadError):
+            FileSpace(LbaRegion(0, 1), derive_rng(7, "fs"), mean_blocks=0)
