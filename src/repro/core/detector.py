@@ -18,6 +18,7 @@ from repro.core.features import FeatureVector, compute_features
 from repro.core.id3 import DecisionTree
 from repro.core.score import ScoreTracker
 from repro.core.window import SliceStats, SlidingWindow
+from repro.obs import Observability
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,9 @@ class RansomwareDetector:
             threshold.
         keep_history: Record every :class:`DetectionEvent` in
             :attr:`events` (on by default; disable for long streams).
+        obs: Observability bundle; when enabled, every closed slice emits
+            a ``detector.slice`` instant (feature values + verdict +
+            score) and the verdict/score metrics update.
     """
 
     def __init__(
@@ -51,6 +55,7 @@ class RansomwareDetector:
         config: Optional[DetectorConfig] = None,
         on_alarm: Optional[Callable[[DetectionEvent], None]] = None,
         keep_history: bool = True,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.config = config or DetectorConfig()
         if tree is None:
@@ -60,6 +65,24 @@ class RansomwareDetector:
         self.tree = tree
         self.on_alarm = on_alarm
         self.keep_history = keep_history
+        self.obs = obs if obs is not None else Observability.off()
+        self._m_slices = None
+        self._m_score = None
+        self._m_alarms = None
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            self._m_slices = metrics.counter(
+                "detector_slices_total",
+                "Closed time slices, by tree verdict.",
+                labelnames=("verdict",),
+            )
+            self._m_score = metrics.gauge(
+                "detector_score",
+                "Current sliding-window score (0..window size).",
+            )
+            self._m_alarms = metrics.counter(
+                "detector_alarms_total", "Alarms raised."
+            )
         self.table = CountingTable()
         self.window = SlidingWindow(self.config.window_slices)
         self.scores = ScoreTracker(self.config.window_slices)
@@ -121,8 +144,25 @@ class RansomwareDetector:
         )
         if self.keep_history:
             self.events.append(event)
+        if self.obs.enabled:
+            self._m_slices.inc(verdict=verdict)
+            self._m_score.set(score)
+            tracer = self.obs.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "detector.slice", category="detector",
+                    sim_time=event.time, slice_index=closed.index,
+                    verdict=verdict, score=score, **features.as_dict(),
+                )
         if alarm and self.alarm_event is None:
             self.alarm_event = event
+            if self.obs.enabled:
+                self._m_alarms.inc()
+                self.obs.tracer.instant(
+                    "detector.alarm", category="detector",
+                    sim_time=event.time, slice_index=closed.index,
+                    score=score, threshold=self.config.threshold,
+                )
             if self.on_alarm is not None:
                 self.on_alarm(event)
         # After the push the window spans slices [next - N, closed.index];

@@ -88,6 +88,10 @@ class FileNotFoundFsError(FilesystemError):
     """The named file does not exist in the filesystem."""
 
 
+class ObservabilityError(ReproError):
+    """A metric or trace was registered or recorded incorrectly."""
+
+
 class WorkloadError(ReproError):
     """A workload generator was configured or driven incorrectly."""
 

@@ -14,7 +14,6 @@ simulated device:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -22,6 +21,7 @@ from repro.analysis.report import render_table
 from repro.core.id3 import DecisionTree
 from repro.core.pretrained import default_tree
 from repro.nand.geometry import NandGeometry
+from repro.obs.tracer import EventTracer
 from repro.rand import derive_rng, derive_seed
 from repro.ssd.config import SSDConfig
 from repro.ssd.device import SimulatedSSD
@@ -114,9 +114,10 @@ def run(
         device.submit(request)
         if device.alarm_raised:
             break
-    wall_start = time.perf_counter()
-    report = device.recover()
-    wall = time.perf_counter() - wall_start
+    tracer = EventTracer(clock=device.clock)
+    with tracer.span("claims.rollback", category="recovery"):
+        report = device.recover()
+    wall = tracer.find("claims.rollback")[0].wall_duration_s
     lost = sum(
         1 for lba, payload in contents.items() if device.read(lba)[:16] != payload
     )

@@ -4,12 +4,16 @@ Run:  python -m repro.experiments.run_all [results_dir]
 
 Writes one text file per experiment under ``results/`` (same outputs the
 benchmark suite produces, without pytest).  Takes several minutes.
+
+Per-experiment wall-clock timings are recorded through the observability
+layer (:mod:`repro.obs`): a span per experiment, exported as
+``_timings.txt`` (metrics text) and ``_run_all_trace.json`` (Chrome
+trace, openable in Perfetto) next to the result files.
 """
 
 from __future__ import annotations
 
 import sys
-import time
 from pathlib import Path
 
 from repro.experiments import (
@@ -57,16 +61,31 @@ EXPERIMENTS = (
 
 def main(results_dir: str = "results") -> int:
     """Regenerate every experiment into ``results_dir``."""
+    from repro.obs import Observability
+
     target = Path(results_dir)
     target.mkdir(exist_ok=True)
+    obs = Observability.on()
+    timings = obs.metrics.gauge(
+        "experiment_wall_seconds",
+        "Wall-clock time regenerating one experiment.",
+        labelnames=("experiment",),
+    )
     for name, runner in EXPERIMENTS:
-        started = time.perf_counter()
         print(f"[{name}] running ...", flush=True)
-        text = runner().render()
+        with obs.tracer.span(name, category="experiment"):
+            text = runner().render()
         (target / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
-        print(f"[{name}] done in {time.perf_counter() - started:.1f}s "
+        elapsed = obs.tracer.find(name)[-1].wall_duration_s
+        timings.set(elapsed, experiment=name)
+        print(f"[{name}] done in {elapsed:.1f}s "
               f"-> {target / f'{name}.txt'}")
-    print(f"\nall {len(EXPERIMENTS)} experiments regenerated under {target}/")
+    (target / "_timings.txt").write_text(
+        obs.metrics.render_text() + "\n", encoding="utf-8"
+    )
+    obs.tracer.write_chrome_trace(str(target / "_run_all_trace.json"))
+    print(f"\nall {len(EXPERIMENTS)} experiments regenerated under {target}/ "
+          f"(timings in _timings.txt, trace in _run_all_trace.json)")
     return 0
 
 

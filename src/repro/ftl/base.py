@@ -23,6 +23,7 @@ from repro.ftl.stats import FtlStats
 from repro.ftl.victim import select_victim
 from repro.nand.array import NandArray
 from repro.nand.block import PageInfo, PageState
+from repro.obs import Observability
 
 
 class PageMappedFTL:
@@ -33,6 +34,8 @@ class PageMappedFTL:
         op_ratio: Over-provisioning ratio; the logical space exposed to the
             host is ``pages_total * (1 - op_ratio)`` blocks.
         gc_policy: Trigger/target free-block thresholds for GC.
+        obs: Observability bundle (GC spans, victim instants, page-copy
+            counters); disabled by default.
     """
 
     def __init__(
@@ -40,6 +43,7 @@ class PageMappedFTL:
         nand: NandArray,
         op_ratio: float = 0.125,
         gc_policy: Optional[GcPolicy] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if not (0.0 < op_ratio < 1.0):
             raise ConfigError(f"op_ratio must be in (0, 1), got {op_ratio}")
@@ -61,6 +65,20 @@ class PageMappedFTL:
         self.mapping = MappingTable(num_lbas)
         self.allocator = BlockAllocator(nand)
         self.stats = FtlStats()
+        self.obs = obs if obs is not None else Observability.off()
+        self._m_gc_copies = None
+        self._m_erases = None
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            self._m_gc_copies = metrics.counter(
+                "ftl_gc_page_copies_total",
+                "Pages relocated by garbage collection, by kind "
+                "(valid = live data, pinned = recovery-queue old versions).",
+                labelnames=("kind",),
+            )
+            self._m_erases = metrics.counter(
+                "ftl_erases_total", "Block erases completed."
+            )
         self._last_timestamp = 0.0
         #: Optional static wear leveler (attach_wear_leveling()); checked
         #: after each GC round.
@@ -134,7 +152,22 @@ class PageMappedFTL:
 
     def collect_garbage(self) -> int:
         """Run GC until the free pool exceeds the target; returns erases done."""
+        if not self.obs.enabled:
+            return self._collect_garbage()
+        before_copies = self.stats.gc_page_copies
+        before_pinned = self.stats.gc_pinned_copies
+        with self.obs.tracer.span("ftl.gc", category="gc") as span:
+            erased = self._collect_garbage()
+            span.set("erased", erased)
+            span.set("page_copies",
+                     self.stats.gc_page_copies - before_copies)
+            span.set("pinned_copies",
+                     self.stats.gc_pinned_copies - before_pinned)
+        return erased
+
+    def _collect_garbage(self) -> int:
         erased = 0
+        tracer = self.obs.tracer
         while self.allocator.free_blocks <= self.gc_policy.target_free_blocks:
             victim = select_victim(
                 self.nand,
@@ -143,6 +176,13 @@ class PageMappedFTL:
                 policy=self.gc_policy.victim_policy,
                 now=self._last_timestamp,
             )
+            if victim is not None and tracer.enabled:
+                block = self.nand.block(victim)
+                tracer.instant(
+                    "ftl.gc_victim", category="gc",
+                    sim_time=self._last_timestamp, block=victim,
+                    valid=block.valid_count, invalid=block.invalid_count,
+                )
             if victim is None or not self._can_complete(victim):
                 # Either nothing is reclaimable yet, or relocating the best
                 # victim would exhaust the pool mid-copy.  Give the host a
@@ -214,6 +254,8 @@ class PageMappedFTL:
             self.stats.bad_blocks += 1
             return
         self.stats.erases += 1
+        if self._m_erases is not None:
+            self._m_erases.inc()
         self.allocator.release(victim)
 
     def _copy_valid_page(self, ppa: int, page: PageInfo) -> None:
@@ -227,6 +269,8 @@ class PageMappedFTL:
         self.mapping.update(lba, new_ppa)
         self.nand.invalidate(ppa)
         self.stats.gc_page_copies += 1
+        if self._m_gc_copies is not None:
+            self._m_gc_copies.inc(kind="valid")
 
     def _copy_pinned_page(self, ppa: int, page: PageInfo) -> None:
         target = self.allocator.gc_block()
@@ -237,6 +281,8 @@ class PageMappedFTL:
         self._on_pinned_moved(ppa, new_ppa)
         self.stats.gc_page_copies += 1
         self.stats.gc_pinned_copies += 1
+        if self._m_gc_copies is not None:
+            self._m_gc_copies.inc(kind="pinned")
 
     # -- power-loss recovery ------------------------------------------------
 

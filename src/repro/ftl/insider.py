@@ -22,6 +22,7 @@ from repro.ftl.gc import GcPolicy
 from repro.ftl.recovery_queue import BackupEntry, RecoveryQueue
 from repro.nand.array import NandArray
 from repro.nand.block import PageState
+from repro.obs import Observability
 
 
 @dataclass
@@ -52,8 +53,10 @@ class InsiderFTL(PageMappedFTL):
         gc_policy: Optional[GcPolicy] = None,
         retention: float = 10.0,
         queue_capacity: Optional[int] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
-        super().__init__(nand, op_ratio=op_ratio, gc_policy=gc_policy)
+        super().__init__(nand, op_ratio=op_ratio, gc_policy=gc_policy,
+                         obs=obs)
         if queue_capacity is None:
             # Provision the queue against the over-provisioned space: pinned
             # old versions may consume at most half of it, leaving the rest
@@ -62,25 +65,66 @@ class InsiderFTL(PageMappedFTL):
             op_pages = nand.geometry.pages_total - self.mapping.num_lbas
             queue_capacity = max(1, op_pages // 2)
         self.queue = RecoveryQueue(retention=retention, capacity=queue_capacity)
+        self._m_queue_depth = None
+        self._m_queue_pinned = None
+        self._m_queue_evictions = None
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            self._m_queue_depth = metrics.gauge(
+                "recovery_queue_depth", "Backup entries currently queued."
+            )
+            self._m_queue_pinned = metrics.gauge(
+                "recovery_queue_pinned_pages",
+                "Old-version physical pages pinned against GC.",
+            )
+            self._m_queue_evictions = metrics.counter(
+                "recovery_queue_evictions_total",
+                "Entries evicted early because the queue hit capacity "
+                "(each one is in-window recovery coverage lost).",
+            )
 
     # -- hooks ------------------------------------------------------------
 
     def _on_superseded(
         self, lba: int, old_ppa: Optional[int], new_ppa: int, timestamp: float
     ) -> None:
-        self.queue.expire(timestamp)
+        expired = self.queue.expire(timestamp)
         if old_ppa is not None:
             self.nand.invalidate(old_ppa)
-        self.queue.push(
+        evicted = self.queue.push(
             BackupEntry(lba=lba, old_ppa=old_ppa, new_ppa=new_ppa, timestamp=timestamp)
         )
+        if self.obs.enabled:
+            self._note_queue_change(timestamp, expired, evicted,
+                                    pinned=old_ppa is not None)
 
     def _on_trimmed(self, lba: int, old_ppa: int, timestamp: float) -> None:
-        self.queue.expire(timestamp)
+        expired = self.queue.expire(timestamp)
         self.nand.invalidate(old_ppa)
-        self.queue.push(
+        evicted = self.queue.push(
             BackupEntry(lba=lba, old_ppa=old_ppa, new_ppa=None, timestamp=timestamp)
         )
+        if self.obs.enabled:
+            self._note_queue_change(timestamp, expired, evicted, pinned=True)
+
+    def _note_queue_change(self, timestamp, expired, evicted, pinned) -> None:
+        """Fold one queue transition into the tracer and the gauges."""
+        tracer = self.obs.tracer
+        if tracer.enabled:
+            if pinned:
+                tracer.instant("queue.pin", category="queue",
+                               sim_time=timestamp)
+            if expired:
+                tracer.instant("queue.expire", category="queue",
+                               sim_time=timestamp, entries=len(expired))
+            for entry in evicted:
+                tracer.instant("queue.evict", category="queue",
+                               sim_time=timestamp, lba=entry.lba)
+        if evicted and self._m_queue_evictions is not None:
+            self._m_queue_evictions.inc(len(evicted))
+        if self._m_queue_depth is not None:
+            self._m_queue_depth.set(len(self.queue))
+            self._m_queue_pinned.set(self.queue.pinned_count)
 
     def _is_pinned(self, ppa: int) -> bool:
         return self.queue.is_pinned(ppa)

@@ -7,7 +7,8 @@ extra-copy overhead can be reported per trace.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import dataclasses
+from dataclasses import dataclass
 
 
 @dataclass
@@ -34,14 +35,10 @@ class FtlStats:
         return (self.host_writes + self.gc_page_copies) / self.host_writes
 
     def snapshot(self) -> "FtlStats":
-        """An independent copy of the current counters."""
-        return FtlStats(
-            host_reads=self.host_reads,
-            host_writes=self.host_writes,
-            host_trims=self.host_trims,
-            gc_runs=self.gc_runs,
-            gc_page_copies=self.gc_page_copies,
-            gc_pinned_copies=self.gc_pinned_copies,
-            erases=self.erases,
-            bad_blocks=self.bad_blocks,
-        )
+        """An independent copy of the current counters.
+
+        Implemented with :func:`dataclasses.replace` so counters added to
+        the dataclass later are copied automatically — a hand-written
+        field list silently drops them.
+        """
+        return dataclasses.replace(self)

@@ -1,0 +1,102 @@
+"""Unified observability: event tracing + metrics for the simulated firmware.
+
+Three pieces:
+
+* :mod:`repro.obs.metrics` — a metrics registry (counters, gauges,
+  fixed-bucket histograms) with labeled series and text/JSON renderers;
+* :mod:`repro.obs.tracer` — a structured event tracer recording spans and
+  instants on the simulated clock *and* host ``perf_counter`` time, with a
+  Chrome-trace-event (Perfetto-compatible) exporter;
+* :class:`Observability` — the bundle threaded through the data path
+  (:class:`~repro.ssd.device.SimulatedSSD`, the detector, the FTLs).
+
+By default everything is **off**: the device carries a disabled bundle
+whose tracer is the shared no-op :data:`~repro.obs.tracer.NULL_TRACER`,
+and instrumented code branches away before building any event arguments,
+so un-observed runs pay nothing measurable.  Turn it on with::
+
+    from repro.obs import Observability
+    obs = Observability.on()
+    device = SimulatedSSD(config, obs=obs)
+    ...                                # run any workload
+    obs.tracer.write_chrome_trace("trace.json")   # open in Perfetto
+    print(obs.metrics.render_text())
+
+See ``docs/observability.md`` for the event taxonomy and naming rules.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clock import SimClock
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    EventTracer,
+    NullTracer,
+    TraceEvent,
+)
+
+
+class Observability:
+    """The tracer + metrics bundle instrumented components share.
+
+    Args:
+        tracer: A recording tracer; defaults to the no-op
+            :data:`~repro.obs.tracer.NULL_TRACER`.
+        metrics: A metrics registry; created on demand when omitted.
+
+    The bundle counts as :attr:`enabled` when either piece was supplied
+    explicitly — passing only a registry gives metrics without trace
+    events, and vice versa.
+    """
+
+    def __init__(
+        self,
+        tracer: Optional[NullTracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.enabled = tracer is not None or metrics is not None
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @classmethod
+    def off(cls) -> "Observability":
+        """A disabled bundle (what every component defaults to)."""
+        return cls()
+
+    @classmethod
+    def on(
+        cls,
+        clock: Optional[SimClock] = None,
+        max_events: Optional[int] = None,
+    ) -> "Observability":
+        """A live bundle: recording tracer + fresh metrics registry."""
+        return cls(
+            tracer=EventTracer(clock=clock, max_events=max_events),
+            metrics=MetricsRegistry(),
+        )
+
+    def bind_clock(self, clock: SimClock) -> None:
+        """Point the tracer's simulated timestamps at ``clock``."""
+        if isinstance(self.tracer, EventTracer):
+            self.tracer.bind_clock(clock)
+
+
+__all__ = [
+    "Counter",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Observability",
+    "TraceEvent",
+]

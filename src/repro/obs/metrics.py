@@ -1,0 +1,393 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The simulated firmware's runtime state has so far been visible only through
+the ad-hoc :class:`~repro.ftl.stats.FtlStats` bundle and a one-shot SMART
+snapshot.  This module is the general substrate: named metric families with
+labeled series, Prometheus-style semantics (counters only go up, gauges go
+anywhere, histograms bucket observations), and two renderers — a
+text exposition for terminals and a JSON document for machines.
+
+Naming conventions (see ``docs/observability.md``):
+
+* families are ``snake_case``; counters end in ``_total``;
+* units are spelled out in the name (``_seconds``, ``_bytes``, ``_pages``);
+* label names are short and low-cardinality (``mode``, ``kind``,
+  ``verdict``) — the registry enforces a hard per-family series cap so an
+  accidental high-cardinality label (an LBA, a timestamp) fails fast
+  instead of silently eating memory.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+
+#: Hard per-family bound on distinct label-value combinations.
+DEFAULT_MAX_SERIES = 1024
+
+#: Default latency buckets (seconds): 1 µs .. ~1 s in x4 steps.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-6, 4e-6, 16e-6, 64e-6, 256e-6, 1e-3, 4e-3, 16e-3, 64e-3, 256e-3, 1.0,
+)
+
+
+def _validate_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c == "_" for c in name):
+        raise ObservabilityError(
+            f"metric name must be non-empty snake_case, got {name!r}"
+        )
+    return name
+
+
+class MetricFamily:
+    """Base class for one named metric and all its labeled series.
+
+    Args:
+        name: Family name (``snake_case``; counters end in ``_total``).
+        help: One-line human description, shown by the text renderer.
+        labelnames: Ordered label names every series must provide.
+        max_series: Cardinality cap; exceeding it raises
+            :class:`~repro.errors.ObservabilityError`.
+    """
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_series: int = DEFAULT_MAX_SERIES,
+    ) -> None:
+        self.name = _validate_name(name)
+        self.help = help
+        self.labelnames: Tuple[str, ...] = tuple(labelnames)
+        for label in self.labelnames:
+            _validate_name(label)
+        self.max_series = max_series
+        self._series: Dict[Tuple[str, ...], object] = {}
+
+    def _key(self, labels: Mapping[str, object]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ObservabilityError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        if key not in self._series and len(self._series) >= self.max_series:
+            raise ObservabilityError(
+                f"metric {self.name!r} exceeded its cardinality cap of "
+                f"{self.max_series} series — a high-cardinality label "
+                f"(LBA? timestamp?) leaked into the label set"
+            )
+        return key
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def labels_of(self, key: Tuple[str, ...]) -> Dict[str, str]:
+        """Reconstruct the label dict for one series key."""
+        return dict(zip(self.labelnames, key))
+
+    def series_items(self) -> Iterator[Tuple[Tuple[str, ...], object]]:
+        """Iterate ``(label-values, series-state)`` pairs."""
+        return iter(sorted(self._series.items()))
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready description of the family and all its series."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "help": self.help,
+            "series": [
+                {"labels": self.labels_of(key), **self._series_dict(state)}
+                for key, state in self.series_items()
+            ],
+        }
+
+    def _series_dict(self, state: object) -> Dict[str, object]:
+        return {"value": state}
+
+    def render_text(self) -> str:
+        """Prometheus-exposition-style text for this family."""
+        lines: List[str] = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for key, state in self.series_items():
+            lines.extend(self._render_series(key, state))
+        return "\n".join(lines)
+
+    def _render_series(
+        self, key: Tuple[str, ...], state: object
+    ) -> List[str]:
+        return [f"{self.name}{_label_text(self.labels_of(key))} {_num(state)}"]
+
+
+def _label_text(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels.items())
+    return "{" + inner + "}"
+
+
+def _num(value: object) -> str:
+    number = float(value)  # type: ignore[arg-type]
+    if number == math.inf:
+        return "+Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+class Counter(MetricFamily):
+    """A monotonically increasing count (events, pages, requests)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (must be >= 0) to the labeled series."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount  # type: ignore[operator]
+
+    def value(self, **labels: object) -> float:
+        """Current value of the labeled series (0 if never incremented)."""
+        return float(self._series.get(self._key(labels), 0.0))  # type: ignore[arg-type]
+
+
+class Gauge(MetricFamily):
+    """A value that can go up and down (queue depth, score, ratio)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        """Set the labeled series to ``value``."""
+        self._series[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (may be negative) to the labeled series."""
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount  # type: ignore[operator]
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        """Subtract ``amount`` from the labeled series."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        """Current value of the labeled series (0 if never set)."""
+        return float(self._series.get(self._key(labels), 0.0))  # type: ignore[arg-type]
+
+
+class _HistogramSeries:
+    """Bucket counts + sum + count for one label combination."""
+
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.bucket_counts = [0] * (num_buckets + 1)  # +1 for +Inf
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(MetricFamily):
+    """Fixed-bucket distribution of observed values.
+
+    Buckets are cumulative upper bounds (Prometheus ``le`` semantics); an
+    implicit ``+Inf`` bucket always exists, so ``observe`` never loses a
+    sample.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        max_series: int = DEFAULT_MAX_SERIES,
+    ) -> None:
+        super().__init__(name, help, labelnames, max_series)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ObservabilityError(
+                f"histogram {name!r} buckets must be a non-empty strictly "
+                f"increasing sequence, got {bounds}"
+            )
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation into the labeled series."""
+        key = self._key(labels)
+        state = self._series.get(key)
+        if state is None:
+            state = _HistogramSeries(len(self.buckets))
+            self._series[key] = state
+        assert isinstance(state, _HistogramSeries)
+        index = len(self.buckets)  # +Inf by default
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        state.bucket_counts[index] += 1
+        state.sum += value
+        state.count += 1
+
+    def count(self, **labels: object) -> int:
+        """Observations recorded in the labeled series."""
+        state = self._series.get(self._key(labels))
+        return state.count if isinstance(state, _HistogramSeries) else 0
+
+    def sum(self, **labels: object) -> float:
+        """Sum of observed values in the labeled series."""
+        state = self._series.get(self._key(labels))
+        return state.sum if isinstance(state, _HistogramSeries) else 0.0
+
+    def _series_dict(self, state: object) -> Dict[str, object]:
+        assert isinstance(state, _HistogramSeries)
+        cumulative = 0
+        buckets = []
+        for bound, count in zip(
+            list(self.buckets) + [math.inf], state.bucket_counts
+        ):
+            cumulative += count
+            buckets.append({"le": _num(bound), "count": cumulative})
+        return {"count": state.count, "sum": state.sum, "buckets": buckets}
+
+    def _render_series(
+        self, key: Tuple[str, ...], state: object
+    ) -> List[str]:
+        assert isinstance(state, _HistogramSeries)
+        labels = self.labels_of(key)
+        lines: List[str] = []
+        cumulative = 0
+        for bound, count in zip(
+            list(self.buckets) + [math.inf], state.bucket_counts
+        ):
+            cumulative += count
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = _num(bound)
+            lines.append(
+                f"{self.name}_bucket{_label_text(bucket_labels)} {cumulative}"
+            )
+        lines.append(f"{self.name}_sum{_label_text(labels)} {_num(state.sum)}")
+        lines.append(f"{self.name}_count{_label_text(labels)} {state.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Registry of metric families; the single hand-out point.
+
+    ``counter``/``gauge``/``histogram`` are idempotent: asking for an
+    existing family name returns the existing family (after checking the
+    kind and label names agree), so independently instrumented components
+    can share series without coordination.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __iter__(self) -> Iterator[MetricFamily]:
+        return iter(
+            family for _, family in sorted(self._families.items())
+        )
+
+    def _get_or_register(
+        self, cls: type, name: str, kwargs: Dict[str, object]
+    ) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, cannot re-register as {cls.kind}"  # type: ignore[attr-defined]
+                )
+            wanted = tuple(kwargs.get("labelnames", ()) or ())
+            if wanted != existing.labelnames:
+                raise ObservabilityError(
+                    f"metric {name!r} already registered with labels "
+                    f"{existing.labelnames}, got {wanted}"
+                )
+            return existing
+        family = cls(name, **kwargs)
+        self._families[name] = family
+        return family
+
+    def counter(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_series: int = DEFAULT_MAX_SERIES,
+    ) -> Counter:
+        """Register (or fetch) a counter family."""
+        family = self._get_or_register(
+            Counter, name,
+            {"help": help, "labelnames": labelnames,
+             "max_series": max_series},
+        )
+        assert isinstance(family, Counter)
+        return family
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        max_series: int = DEFAULT_MAX_SERIES,
+    ) -> Gauge:
+        """Register (or fetch) a gauge family."""
+        family = self._get_or_register(
+            Gauge, name,
+            {"help": help, "labelnames": labelnames,
+             "max_series": max_series},
+        )
+        assert isinstance(family, Gauge)
+        return family
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        max_series: int = DEFAULT_MAX_SERIES,
+    ) -> Histogram:
+        """Register (or fetch) a fixed-bucket histogram family."""
+        family = self._get_or_register(
+            Histogram, name,
+            {"help": help, "labelnames": labelnames, "buckets": buckets,
+             "max_series": max_series},
+        )
+        assert isinstance(family, Histogram)
+        return family
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """Look a family up by name (None when absent)."""
+        return self._families.get(name)
+
+    # -- renderers --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready snapshot of every family and series."""
+        return {"families": [family.as_dict() for family in self]}
+
+    def render_json(self, indent: Optional[int] = None) -> str:
+        """The :meth:`to_dict` snapshot as a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def render_text(self) -> str:
+        """Prometheus-exposition-style rendering of the whole registry."""
+        return "\n".join(family.render_text() for family in self)

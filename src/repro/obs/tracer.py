@@ -1,0 +1,269 @@
+"""The structured event tracer: spans + instants on two clocks at once.
+
+Every event records the host wall clock (``time.perf_counter``, so spans
+have real durations you can see in a flame chart) *and* the simulated
+clock (so detector slices, GC runs and rollbacks line up with the
+workload's own timeline).  The default is the :data:`NULL_TRACER` — a
+shared no-op whose methods cost one attribute lookup, so un-instrumented
+runs pay nothing.
+
+Export is the Chrome trace-event JSON format: open the file at
+``chrome://tracing`` or https://ui.perfetto.dev and the request spans, GC
+runs, detector slices and the rollback appear as a zoomable timeline.
+Wall time drives the horizontal axis; each event's ``args`` carries its
+simulated timestamp (``sim_time_s``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, TextIO, Union
+
+from repro.clock import SimClock
+
+#: Default process id stamped on exported Chrome trace events.
+TRACE_PID = 1
+
+#: Default thread id (the simulation is single-threaded).
+TRACE_TID = 1
+
+
+@dataclass
+class TraceEvent:
+    """One recorded event (a completed span, an instant, or a counter).
+
+    Attributes:
+        name: Event name (dotted taxonomy, e.g. ``ssd.request``).
+        category: Coarse grouping used for filtering (``io``, ``gc``,
+            ``detector``, ``recovery``, ``queue``).
+        phase: Chrome trace phase: ``"X"`` complete span, ``"i"`` instant,
+            ``"C"`` counter sample.
+        wall_ts_us: Host time at the event start, µs since the tracer's
+            epoch.
+        wall_dur_us: Host duration in µs (spans only).
+        sim_ts: Simulated time in seconds at the event start, when known.
+        sim_dur: Simulated duration in seconds (spans only, when known).
+        args: Structured payload (feature values, verdicts, page counts...).
+    """
+
+    name: str
+    category: str
+    phase: str
+    wall_ts_us: float
+    wall_dur_us: float = 0.0
+    sim_ts: Optional[float] = None
+    sim_dur: Optional[float] = None
+    args: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def wall_duration_s(self) -> float:
+        """Host duration in seconds."""
+        return self.wall_dur_us / 1e6
+
+    def to_chrome(self) -> Dict[str, object]:
+        """Render as one Chrome trace-event object."""
+        args = dict(self.args)
+        if self.phase != "C":
+            # A counter's args are its graphed series; keep sim time out.
+            if self.sim_ts is not None:
+                args["sim_time_s"] = round(self.sim_ts, 9)
+            if self.sim_dur is not None:
+                args["sim_dur_s"] = round(self.sim_dur, 9)
+        event: Dict[str, object] = {
+            "name": self.name,
+            "cat": self.category or "repro",
+            "ph": self.phase,
+            "ts": self.wall_ts_us,
+            "pid": TRACE_PID,
+            "tid": TRACE_TID,
+            "args": args,
+        }
+        if self.phase == "X":
+            event["dur"] = self.wall_dur_us
+        if self.phase == "i":
+            event["s"] = "t"  # instant scope: thread
+        return event
+
+
+class _NullSpan:
+    """The reusable no-op span handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: object) -> None:
+        """Discard a span attribute (no-op)."""
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The zero-overhead default tracer: every method is a no-op.
+
+    Instrumented code can call ``tracer.span(...)`` / ``tracer.instant(...)``
+    unconditionally; with the null tracer the call allocates nothing and
+    records nothing.  Hot paths that want to skip even argument building
+    can branch on :attr:`enabled`.
+    """
+
+    enabled = False
+
+    def span(self, name: str, category: str = "", **args: object) -> _NullSpan:
+        """Return the shared no-op span."""
+        return _NULL_SPAN
+
+    def instant(self, name: str, category: str = "",
+                sim_time: Optional[float] = None, **args: object) -> None:
+        """Discard an instant event."""
+
+    def counter(self, name: str, value: float, category: str = "",
+                sim_time: Optional[float] = None) -> None:
+        """Discard a counter sample."""
+
+
+#: Shared no-op tracer instance (safe to reuse everywhere).
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """A live span: records wall/sim start on entry, emits on exit."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_args",
+                 "_wall_start", "_sim_start")
+
+    def __init__(self, tracer: "EventTracer", name: str, category: str,
+                 args: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._args = args
+        self._wall_start = 0.0
+        self._sim_start: Optional[float] = None
+
+    def set(self, key: str, value: object) -> None:
+        """Attach (or overwrite) one structured attribute on the span."""
+        self._args[key] = value
+
+    def __enter__(self) -> "_Span":
+        self._sim_start = self._tracer._sim_now()
+        self._wall_start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        wall_end = perf_counter()
+        sim_end = self._tracer._sim_now()
+        sim_dur = None
+        if self._sim_start is not None and sim_end is not None:
+            sim_dur = sim_end - self._sim_start
+        self._tracer._record(TraceEvent(
+            name=self._name,
+            category=self._category,
+            phase="X",
+            wall_ts_us=(self._wall_start - self._tracer.epoch) * 1e6,
+            wall_dur_us=(wall_end - self._wall_start) * 1e6,
+            sim_ts=self._sim_start,
+            sim_dur=sim_dur,
+            args=self._args,
+        ))
+        return False
+
+
+class EventTracer:
+    """A recording tracer: keeps every event in memory for export.
+
+    Args:
+        clock: Optional :class:`~repro.clock.SimClock` consulted for the
+            simulated timestamp of every event (events may still override
+            it via ``sim_time=``).
+        max_events: Optional hard cap; once reached, further events are
+            dropped (and :attr:`dropped` counts them) instead of growing
+            without bound on very long runs.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[SimClock] = None,
+                 max_events: Optional[int] = None) -> None:
+        self.clock = clock
+        self.max_events = max_events
+        self.epoch = perf_counter()
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def bind_clock(self, clock: SimClock) -> None:
+        """Attach (or replace) the simulated clock used for timestamps."""
+        self.clock = clock
+
+    def _sim_now(self) -> Optional[float]:
+        return self.clock.now if self.clock is not None else None
+
+    def _record(self, event: TraceEvent) -> None:
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(event)
+
+    # -- recording interface ----------------------------------------------
+
+    def span(self, name: str, category: str = "", **args: object) -> _Span:
+        """Open a span; use as a context manager around the timed work."""
+        return _Span(self, name, category, dict(args))
+
+    def instant(self, name: str, category: str = "",
+                sim_time: Optional[float] = None, **args: object) -> None:
+        """Record a zero-duration event at the current time."""
+        self._record(TraceEvent(
+            name=name,
+            category=category,
+            phase="i",
+            wall_ts_us=(perf_counter() - self.epoch) * 1e6,
+            sim_ts=sim_time if sim_time is not None else self._sim_now(),
+            args=dict(args),
+        ))
+
+    def counter(self, name: str, value: float, category: str = "",
+                sim_time: Optional[float] = None) -> None:
+        """Record one sample of a numeric series (graphed by Perfetto)."""
+        self._record(TraceEvent(
+            name=name,
+            category=category,
+            phase="C",
+            wall_ts_us=(perf_counter() - self.epoch) * 1e6,
+            sim_ts=sim_time if sim_time is not None else self._sim_now(),
+            args={"value": value},
+        ))
+
+    # -- introspection & export -------------------------------------------
+
+    def find(self, name: str) -> List[TraceEvent]:
+        """Every recorded event with the given name, in record order."""
+        return [event for event in self.events if event.name == name]
+
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """The full trace as a Chrome trace-event JSON document."""
+        return {
+            "traceEvents": [event.to_chrome() for event in self.events],
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "producer": "repro.obs.tracer",
+                "events": len(self.events),
+                "dropped": self.dropped,
+            },
+        }
+
+    def write_chrome_trace(self, destination: Union[str, TextIO]) -> None:
+        """Write the Chrome trace JSON to a path or open text file."""
+        document = self.to_chrome_trace()
+        if hasattr(destination, "write"):
+            json.dump(document, destination)  # type: ignore[arg-type]
+            return
+        with open(destination, "w", encoding="utf-8") as handle:  # type: ignore[arg-type]
+            json.dump(document, handle)

@@ -15,6 +15,7 @@ Request flow (mirroring the paper's firmware):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, List, Optional
 
 from repro.blockdev.request import IOMode, IORequest
@@ -24,6 +25,7 @@ from repro.core.id3 import DecisionTree
 from repro.errors import DeviceReadOnlyError, RecoveryError, UnmappedReadError
 from repro.ftl.insider import InsiderFTL, RollbackReport
 from repro.nand.array import NandArray
+from repro.obs import Observability
 from repro.ssd.config import SSDConfig
 from repro.units import BLOCK_SIZE
 
@@ -49,6 +51,9 @@ class SimulatedSSD:
         strict_read_only: Raise on writes while locked instead of silently
             dropping them (the paper's firmware ignores them; strict mode
             helps tests catch unintended writes).
+        obs: Observability bundle shared by the device, the detector and
+            the FTL (per-request spans, detector slice events, GC spans,
+            queue/latency metrics); disabled by default, costing nothing.
     """
 
     def __init__(
@@ -57,8 +62,12 @@ class SimulatedSSD:
         tree: Optional[DecisionTree] = None,
         on_alarm: Optional[Callable[[DetectionEvent], None]] = None,
         strict_read_only: bool = False,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.config = config or SSDConfig.small()
+        self.clock = SimClock()
+        self.obs = obs if obs is not None else Observability.off()
+        self.obs.bind_clock(self.clock)
         self.nand = NandArray(self.config.geometry, self.config.latencies)
         self.ftl = InsiderFTL(
             self.nand,
@@ -66,6 +75,7 @@ class SimulatedSSD:
             gc_policy=self.config.gc_policy,
             retention=self.config.retention,
             queue_capacity=self.config.queue_capacity,
+            obs=self.obs,
         )
         self.detector: Optional[RansomwareDetector] = None
         if self.config.detector_enabled:
@@ -73,10 +83,35 @@ class SimulatedSSD:
                 tree=tree,
                 config=self.config.detector,
                 on_alarm=self._alarm_hook,
+                obs=self.obs,
             )
         self._host_alarm_callback = on_alarm
         self.strict_read_only = strict_read_only
-        self.clock = SimClock()
+        self._m_req_latency = None
+        self._m_requests = None
+        self._m_blocks = None
+        self._m_dropped = None
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            self._m_req_latency = metrics.histogram(
+                "ssd_request_latency_seconds",
+                "Host wall-clock time servicing one submitted request, "
+                "by opcode.",
+                labelnames=("mode",),
+            )
+            self._m_requests = metrics.counter(
+                "ssd_requests_total", "Requests submitted, by opcode.",
+                labelnames=("mode",),
+            )
+            self._m_blocks = metrics.counter(
+                "ssd_blocks_total",
+                "Logical blocks transferred, by opcode.",
+                labelnames=("mode",),
+            )
+            self._m_dropped = metrics.counter(
+                "ssd_dropped_writes_total",
+                "Writes dropped by the read-only lockdown.",
+            )
         self.read_only = False
         self.stats = DeviceStats()
         self.rollback_reports: List[RollbackReport] = []
@@ -114,6 +149,29 @@ class SimulatedSSD:
     def submit(self, request: IORequest) -> None:
         """Execute one (possibly multi-block) request from a trace."""
         self.clock.advance_to(request.time)
+        if not self.obs.enabled:
+            self._execute(request)
+            return
+        self._observed(request, lambda: self._execute(request))
+
+    def _observed(self, request, operate):
+        """Run one host operation under the request span + metrics."""
+        mode = request.mode.value
+        start = perf_counter()
+        with self.obs.tracer.span(
+            "ssd.request", category="io",
+            mode=mode, lba=request.lba, length=request.length,
+        ):
+            result = operate()
+        self._m_req_latency.observe(perf_counter() - start, mode=mode)
+        self._m_requests.inc(mode=mode)
+        self._m_blocks.inc(request.length, mode=mode)
+        self.obs.tracer.counter(
+            "recovery_queue_depth", len(self.ftl.queue), category="queue"
+        )
+        return result
+
+    def _execute(self, request: IORequest) -> None:
         if self.detector is not None:
             self.detector.observe(request)
         for lba in request.lbas():
@@ -125,21 +183,24 @@ class SimulatedSSD:
     def read(self, lba: int, now: Optional[float] = None) -> bytes:
         """Read one 4-KB block; unmapped blocks read as zeroes."""
         timestamp = self._stamp(now)
+        request = IORequest(time=timestamp, lba=lba, mode=IOMode.READ)
         if self.detector is not None:
-            self.detector.observe(
-                IORequest(time=timestamp, lba=lba, mode=IOMode.READ)
-            )
-        return self._read_block(lba)
+            self.detector.observe(request)
+        if not self.obs.enabled:
+            return self._read_block(lba)
+        return self._observed(request, lambda: self._read_block(lba))
 
     def write(self, lba: int, payload: Optional[bytes] = None,
               now: Optional[float] = None) -> None:
         """Write one 4-KB block (dropped/refused while read-only)."""
         timestamp = self._stamp(now)
+        request = IORequest(time=timestamp, lba=lba, mode=IOMode.WRITE)
         if self.detector is not None:
-            self.detector.observe(
-                IORequest(time=timestamp, lba=lba, mode=IOMode.WRITE)
-            )
-        self._write_block(lba, payload)
+            self.detector.observe(request)
+        if not self.obs.enabled:
+            self._write_block(lba, payload)
+            return
+        self._observed(request, lambda: self._write_block(lba, payload))
 
     def trim(self, lba: int, now: Optional[float] = None) -> None:
         """Discard one block (used by the filesystem on delete)."""
@@ -148,6 +209,8 @@ class SimulatedSSD:
             if self.strict_read_only:
                 raise DeviceReadOnlyError("device is read-only after an alarm")
             self.stats.dropped_writes += 1
+            if self._m_dropped is not None:
+                self._m_dropped.inc()
             return
         self.ftl.trim(lba, timestamp)
 
@@ -182,11 +245,23 @@ class SimulatedSSD:
         """
         if self.detector is not None and not self.detector.alarm_raised:
             raise RecoveryError("no alarm is pending; nothing to recover from")
-        report = self.ftl.rollback(self.clock.now)
+        if not self.obs.enabled:
+            report = self.ftl.rollback(self.clock.now)
+        else:
+            with self.obs.tracer.span(
+                "ssd.rollback", category="recovery"
+            ) as span:
+                report = self.ftl.rollback(self.clock.now)
+                span.set("entries_scanned", report.entries_scanned)
+                span.set("entries_applied", report.entries_applied)
+                span.set("lbas_restored", report.lbas_restored)
+                span.set("lbas_unmapped", report.lbas_unmapped)
         self.rollback_reports.append(report)
         self.read_only = False
         if self.detector is not None:
             self.detector.reset()
+        if self.obs.enabled:
+            self.refresh_obs_metrics()
         return report
 
     def power_cycle(self) -> None:
@@ -203,6 +278,7 @@ class SimulatedSSD:
             gc_policy=self.config.gc_policy,
             retention=self.config.retention,
             queue_capacity=self.config.queue_capacity,
+            obs=self.obs,
         )
         if self.wear_leveler is not None:
             self.wear_leveler = self.ftl.attach_wear_leveling(
@@ -224,8 +300,50 @@ class SimulatedSSD:
 
     def _alarm_hook(self, event: DetectionEvent) -> None:
         self.read_only = True
+        if self.obs.enabled:
+            self.obs.tracer.instant(
+                "ssd.lockdown", category="recovery",
+                sim_time=event.time, slice_index=event.slice_index,
+                score=event.score,
+            )
         if self._host_alarm_callback is not None:
             self._host_alarm_callback(event)
+
+    # -- observability -------------------------------------------------------
+
+    def refresh_obs_metrics(self) -> None:
+        """Fold current device/FTL/detector state into the gauges.
+
+        Incremental counters update inline on the data path; the derived
+        values (write amplification, utilization, queue depth, score) are
+        snapshots, so they are recomputed here — call this before
+        rendering the registry.  A no-op while observability is disabled.
+        """
+        if not self.obs.enabled:
+            return
+        metrics = self.obs.metrics
+        metrics.gauge(
+            "recovery_queue_depth", "Backup entries currently queued."
+        ).set(len(self.ftl.queue))
+        metrics.gauge(
+            "recovery_queue_pinned_pages",
+            "Old-version physical pages pinned against GC.",
+        ).set(self.ftl.pinned_pages())
+        metrics.gauge(
+            "ftl_write_amplification",
+            "(host writes + GC copies) / host writes.",
+        ).set(self.ftl.stats.write_amplification)
+        metrics.gauge(
+            "ftl_utilization", "Fraction of logical space currently mapped."
+        ).set(self.ftl.utilization())
+        metrics.gauge(
+            "ssd_recoveries", "Mapping-table rollbacks completed."
+        ).set(len(self.rollback_reports))
+        if self.detector is not None:
+            metrics.gauge(
+                "detector_score",
+                "Current sliding-window score (0..window size).",
+            ).set(self.detector.score)
 
     # -- internals -----------------------------------------------------------
 
@@ -250,6 +368,8 @@ class SimulatedSSD:
             if self.strict_read_only:
                 raise DeviceReadOnlyError("device is read-only after an alarm")
             self.stats.dropped_writes += 1
+            if self._m_dropped is not None:
+                self._m_dropped.inc()
             return
         # Content-aware models (repro.core.entropy.HybridDetector) sample
         # write payloads as they stream through the firmware.

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.ftl.insider import RollbackReport
+from repro.obs import Observability
 from repro.rand import derive_rng
 from repro.ssd.device import SimulatedSSD
 from repro.workloads.base import LbaRegion
@@ -29,6 +30,9 @@ class DefenseOutcome:
     rollback: Optional[RollbackReport]
     blocks_audited: int
     blocks_corrupted: int
+    #: The device's observability bundle (tracer + metrics), when the run
+    #: was instrumented; None for the un-observed default.
+    obs: Optional[Observability] = None
 
     @property
     def data_loss_rate(self) -> float:
@@ -104,6 +108,7 @@ def run_defense(
         audited += 1
         if device.read(lba)[: len(contents[lba])] != contents[lba]:
             corrupted += 1
+    device.refresh_obs_metrics()
     return DefenseOutcome(
         sample=sample,
         alarm_raised=detection_latency is not None,
@@ -113,4 +118,5 @@ def run_defense(
         rollback=rollback,
         blocks_audited=audited,
         blocks_corrupted=corrupted,
+        obs=device.obs if device.obs.enabled else None,
     )

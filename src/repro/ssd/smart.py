@@ -36,11 +36,17 @@ ATTR_DROPPED_WRITES = 0xF8
 ATTR_RECOVERIES = 0xF9
 
 
-def smart_report(device: SimulatedSSD) -> Dict[int, int]:
-    """Build the SMART attribute table from live device state."""
+def smart_report(device: SimulatedSSD, metrics: bool = False) -> Dict:
+    """Build the SMART attribute table from live device state.
+
+    With ``metrics=True`` (and an observability-enabled device) the
+    vendor-specific attribute page grows a ``"metrics"`` section carrying
+    the full registry snapshot — the modern "telemetry log page" analogue
+    of the paper's custom-command surface.
+    """
     wear = device.nand.wear_stats()
     score = device.detector.score if device.detector is not None else 0
-    return {
+    report: Dict = {
         ATTR_ALARM: int(device.alarm_raised),
         ATTR_SCORE: score,
         ATTR_QUEUE_DEPTH: len(device.ftl.queue),
@@ -52,6 +58,10 @@ def smart_report(device: SimulatedSSD) -> Dict[int, int]:
         ATTR_DROPPED_WRITES: device.stats.dropped_writes,
         ATTR_RECOVERIES: len(device.rollback_reports),
     }
+    if metrics and device.obs.enabled:
+        device.refresh_obs_metrics()
+        report["metrics"] = device.obs.metrics.to_dict()
+    return report
 
 
 class HostCommand(enum.Enum):

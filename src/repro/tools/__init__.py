@@ -8,5 +8,10 @@
   detector and print the score timeline; exits non-zero on alarm, so it
   composes into shell pipelines.
 * ``python -m repro.tools.defend`` — run a full attack/detect/recover
-  cycle against a simulated device and report the outcome + SMART data.
+  cycle against a simulated device and report the outcome + SMART data
+  (``--trace-out``/``--metrics`` record the run with the observability
+  layer).
+* ``python -m repro.tools.observe`` — replay any Table I catalog scenario
+  through a fully instrumented device; export a Perfetto-compatible
+  Chrome trace and a metrics summary.
 """

@@ -4,9 +4,16 @@ Example::
 
     python -m repro.tools.defend --sample wannacry --seed 7
     python -m repro.tools.defend --sample jaff --no-recover
+    python -m repro.tools.defend --trace-out trace.json --metrics metrics.json
 
 Exit status: 0 on perfect recovery (or no-recover audit), 3 when the
 sample was missed, 4 when recovery lost data.
+
+``--trace-out`` records the run with the event tracer and writes a
+Chrome-trace JSON (open at https://ui.perfetto.dev); ``--metrics`` writes
+the metrics-registry snapshot as JSON.  Either flag turns observability
+on; without them the run is un-instrumented and behaves exactly as
+before.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ import argparse
 from typing import List, Optional
 
 from repro.nand.geometry import NandGeometry
+from repro.obs import Observability
 from repro.ssd.config import SSDConfig
 from repro.ssd.device import SimulatedSSD
 from repro.ssd.harness import run_defense
@@ -38,18 +46,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="recovery-queue entries (Table III sizing)")
     parser.add_argument("--no-recover", action="store_true",
                         help="skip the rollback and audit the damage")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="record the run and write a Chrome-trace JSON "
+                             "(open in Perfetto) to FILE")
+    parser.add_argument("--metrics", metavar="FILE", default=None,
+                        help="write the metrics-registry snapshot as JSON "
+                             "to FILE")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Run the defense cycle; returns the exit code."""
     args = build_parser().parse_args(argv)
+    observe = args.trace_out is not None or args.metrics is not None
+    obs = Observability.on() if observe else None
     device = SimulatedSSD(
         SSDConfig(
             geometry=NandGeometry(channels=2, ways=4, blocks_per_chip=128,
                                   pages_per_block=64),
             queue_capacity=args.queue_capacity,
-        )
+        ),
+        obs=obs,
     )
     outcome = run_defense(
         device,
@@ -71,6 +88,16 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"blocks corrupted ({outcome.data_loss_rate:.1%} loss)")
     smart = smart_report(device)
     print(f"SMART: {dict(sorted(smart.items()))}")
+    if obs is not None:
+        device.refresh_obs_metrics()
+        if args.trace_out is not None:
+            obs.tracer.write_chrome_trace(args.trace_out)
+            print(f"trace: {len(obs.tracer.events)} events -> "
+                  f"{args.trace_out}")
+        if args.metrics is not None:
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(obs.metrics.render_json(indent=2))
+            print(f"metrics: {len(obs.metrics)} families -> {args.metrics}")
     if not outcome.alarm_raised:
         return 3
     if not args.no_recover and outcome.blocks_corrupted > 0:

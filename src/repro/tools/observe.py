@@ -1,0 +1,120 @@
+"""Run any catalog scenario with full observability and export the record.
+
+Example::
+
+    python -m repro.tools.observe --list
+    python -m repro.tools.observe --scenario test-ransom-only \\
+        --trace-out trace.json --metrics-out metrics.json
+
+The named Table I scenario (ransomware + background app, merged) is
+replayed through a fully instrumented :class:`~repro.ssd.device.SimulatedSSD`:
+per-request spans, detector slice events with the six feature values, GC
+spans, recovery-queue pin/evict events, and — if the sample trips the
+detector — the lockdown instant and (with ``--recover``) the rollback
+span.  The Chrome-trace JSON opens at https://ui.perfetto.dev; the
+metrics summary prints as Prometheus-style text and can be saved as JSON.
+
+Exit status: 0 always (the point is the telemetry, not the verdict);
+2 on bad arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.nand.geometry import NandGeometry
+from repro.obs import Observability
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SimulatedSSD
+from repro.workloads.catalog import testing_scenarios, training_scenarios
+
+
+def _catalog():
+    return {s.name: s for s in training_scenarios() + testing_scenarios()}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.observe",
+        description="Replay a Table I scenario through an instrumented "
+                    "device; export a Perfetto trace and a metrics summary.",
+    )
+    parser.add_argument("--scenario", default="test-ransom-only",
+                        help="catalog scenario name (see --list)")
+    parser.add_argument("--list", action="store_true",
+                        help="list the catalog scenario names and exit")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--duration", type=float, default=30.0,
+                        help="simulated seconds to replay (default 30)")
+    parser.add_argument("--queue-capacity", type=int, default=20_000,
+                        help="recovery-queue entries (Table III sizing)")
+    parser.add_argument("--recover", action="store_true",
+                        help="roll back (and record the rollback span) "
+                             "if the alarm fires")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write the Chrome-trace JSON to FILE")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="write the metrics snapshot as JSON to FILE")
+    parser.add_argument("--no-summary", action="store_true",
+                        help="skip the text metrics summary on stdout")
+    parser.add_argument("--max-events", type=int, default=None,
+                        help="cap the number of recorded trace events")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Replay the scenario under observation; returns the exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    catalog = _catalog()
+    if args.list:
+        for name in sorted(catalog):
+            print(name)
+        return 0
+    if args.scenario not in catalog:
+        parser.error(f"unknown scenario {args.scenario!r} (try --list)")
+    obs = Observability.on(max_events=args.max_events)
+    device = SimulatedSSD(
+        SSDConfig(
+            geometry=NandGeometry(channels=2, ways=4, blocks_per_chip=128,
+                                  pages_per_block=64),
+            queue_capacity=args.queue_capacity,
+        ),
+        obs=obs,
+    )
+    run = catalog[args.scenario].build(
+        seed=args.seed,
+        num_lbas=device.num_lbas,
+        duration=args.duration,
+    )
+    for request in run.trace:
+        device.submit(request)
+    device.tick(run.duration)
+    if device.alarm_raised and args.recover:
+        report = device.recover()
+        print(f"rollback: {report.mapping_updates} mapping updates")
+    device.refresh_obs_metrics()
+
+    print(f"scenario: {run.name} "
+          f"(ransomware={run.ransomware or '-'}, {run.duration:.0f}s, "
+          f"{len(run.trace)} requests)")
+    print(f"alarm: {'RAISED' if device.alarm_raised or device.rollback_reports else 'no'}")
+    print(f"trace events recorded: {len(obs.tracer.events)}"
+          + (f" (+{obs.tracer.dropped} dropped)" if obs.tracer.dropped else ""))
+    if args.trace_out is not None:
+        obs.tracer.write_chrome_trace(args.trace_out)
+        print(f"trace -> {args.trace_out}")
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(obs.metrics.render_json(indent=2))
+        print(f"metrics -> {args.metrics_out}")
+    if not args.no_summary:
+        print()
+        print(obs.metrics.render_text())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

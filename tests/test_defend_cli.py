@@ -1,5 +1,7 @@
 """The defend CLI."""
 
+import json
+
 import pytest
 
 from repro.tools import defend
@@ -24,3 +26,43 @@ class TestDefendCli:
     def test_unknown_sample_rejected(self):
         with pytest.raises(SystemExit):
             defend.main(["--sample", "badrabbit"])
+
+
+class TestDefendCliObservability:
+    def test_trace_and_metrics_files_written(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        code = defend.main(["--sample", "wannacry", "--seed", "3",
+                            "--trace-out", str(trace),
+                            "--metrics", str(metrics)])
+        out = capsys.readouterr().out
+        assert code == 0  # exit codes unchanged by instrumentation
+        assert "trace:" in out and "metrics:" in out
+
+        document = json.loads(trace.read_text(encoding="utf-8"))
+        names = {event["name"] for event in document["traceEvents"]}
+        assert {"ssd.request", "detector.slice", "ssd.rollback"} <= names
+
+        snapshot = json.loads(metrics.read_text(encoding="utf-8"))
+        families = {family["name"] for family in snapshot["families"]}
+        assert "recovery_queue_depth" in families
+        assert "ssd_request_latency_seconds" in families
+
+    def test_metrics_alone_turns_observability_on(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        code = defend.main(["--sample", "mole", "--seed", "4",
+                            "--no-recover", "--metrics", str(metrics)])
+        capsys.readouterr()
+        assert code == 0
+        assert json.loads(metrics.read_text(encoding="utf-8"))["families"]
+
+    def test_instrumented_run_matches_plain_output(self, capsys, tmp_path):
+        # Tracing must observe, not perturb: the human-readable report of
+        # an instrumented run is identical to the un-instrumented one.
+        defend.main(["--sample", "wannacry", "--seed", "3"])
+        plain = capsys.readouterr().out
+        defend.main(["--sample", "wannacry", "--seed", "3",
+                     "--trace-out", str(tmp_path / "trace.json")])
+        traced = capsys.readouterr().out
+        assert traced.startswith(plain)
+        assert "trace:" in traced[len(plain):]

@@ -1,0 +1,48 @@
+"""The observe CLI: replay a catalog scenario under full instrumentation."""
+
+import json
+
+import pytest
+
+from repro.tools import observe
+
+
+class TestObserveCli:
+    def test_list_prints_catalog(self, capsys):
+        code = observe.main(["--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "test-ransom-only" in out
+
+    def test_unknown_scenario_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            observe.main(["--scenario", "not-a-scenario"])
+        capsys.readouterr()
+
+    def test_replay_exports_trace_and_metrics(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        code = observe.main(["--scenario", "test-ransom-only",
+                             "--duration", "10", "--recover",
+                             "--trace-out", str(trace),
+                             "--metrics-out", str(metrics),
+                             "--no-summary"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace events recorded:" in out
+
+        document = json.loads(trace.read_text(encoding="utf-8"))
+        names = {event["name"] for event in document["traceEvents"]}
+        assert {"ssd.request", "detector.slice"} <= names
+
+        snapshot = json.loads(metrics.read_text(encoding="utf-8"))
+        families = {family["name"] for family in snapshot["families"]}
+        assert "ssd_request_latency_seconds" in families
+
+    def test_max_events_cap_reported(self, capsys):
+        code = observe.main(["--scenario", "train-kakaotalk",
+                             "--duration", "5", "--max-events", "5",
+                             "--no-summary"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dropped" in out
