@@ -13,12 +13,24 @@ A hash index keyed by LBA gives O(1) access from a request to its entry
 operations named in Fig. 3(b) — ``NewEntry``, ``UpdateEntryR``,
 ``SplitEntry``, ``UpdateEntryW``, ``MergeEntry`` — map onto the code paths
 of :meth:`CountingTable.record_read` and :meth:`CountingTable.record_write`.
+
+Hot-path layout (docs/performance.md):
+
+* entries live in **expiry buckets** keyed by their ``Time`` slice, so
+  :meth:`CountingTable.expire` touches only the stale buckets instead of
+  scanning (and ``list.remove``-ing from) every live entry;
+* a bounded **free list** recycles :class:`TableEntry` objects, keeping the
+  steady-state update path allocation-free the way a fixed firmware entry
+  pool would;
+* a running **WL total** makes :meth:`CountingTable.mean_wl` (the AVGWIO
+  source, evaluated at every slice boundary) O(1) instead of a full-table
+  sum.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
 
 #: Per-structure unit sizes (bytes) from the paper's Table III.
 HASH_ENTRY_SIZE_BYTES = 42
@@ -31,6 +43,10 @@ TABLE_ENTRY_SIZE_BYTES = 12
 #: look "recently read" ~arbitrarily long after they were scanned.
 MAX_RUN_BLOCKS = 64
 
+#: Recycled-entry pool bound; beyond this, freed entries go back to the
+#: allocator (a firmware pool would simply be fixed-size).
+FREE_LIST_CAP = 4096
+
 
 @dataclass(eq=False)
 class TableEntry:
@@ -38,6 +54,8 @@ class TableEntry:
 
     Attributes:
         slice_index: Time slice of the last update (the Fig. 3 ``Time``).
+            Also the key of the expiry bucket holding the entry — mutate it
+            only through :meth:`CountingTable._touch`.
         lba: Starting LBA of the run.
         rl: Read run length — the run covers ``[lba, lba + rl)``.
         wl: Overwrite count accumulated by the run (repeat overwrites of
@@ -64,15 +82,23 @@ class CountingTable:
 
     def __init__(self) -> None:
         self._index: Dict[int, TableEntry] = {}
-        self._entries: List[TableEntry] = []
+        # Expiry buckets: slice_index -> insertion-ordered set of entries
+        # last touched in that slice (dict-as-ordered-set keeps iteration
+        # deterministic).  Live buckets only span the detection window, so
+        # expire() scans O(window) keys, never O(entries).
+        self._buckets: Dict[int, Dict[TableEntry, None]] = {}
+        self._count = 0
+        self._wl_total = 0
+        self._free: list = []
 
     # -- queries ------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._count
 
     def __iter__(self) -> Iterator[TableEntry]:
-        return iter(self._entries)
+        for key in sorted(self._buckets):
+            yield from self._buckets[key]
 
     @property
     def hash_entries(self) -> int:
@@ -85,16 +111,69 @@ class CountingTable:
 
     def mean_wl(self) -> float:
         """Average WL over all live entries — the AVGWIO feature source."""
-        if not self._entries:
+        if not self._count:
             return 0.0
-        return sum(entry.wl for entry in self._entries) / len(self._entries)
+        return self._wl_total / self._count
 
     def memory_bytes(self) -> int:
         """DRAM footprint under the paper's Table III unit sizes."""
         return (
             len(self._index) * HASH_ENTRY_SIZE_BYTES
-            + len(self._entries) * TABLE_ENTRY_SIZE_BYTES
+            + self._count * TABLE_ENTRY_SIZE_BYTES
         )
+
+    # -- entry store ----------------------------------------------------
+
+    def _alloc(self, slice_index: int, lba: int, rl: int = 1, wl: int = 0) -> TableEntry:
+        """Take an entry from the free list (or allocate) and register it."""
+        if self._free:
+            entry = self._free.pop()
+            entry.slice_index = slice_index
+            entry.lba = lba
+            entry.rl = rl
+            entry.wl = wl
+        else:
+            entry = TableEntry(slice_index=slice_index, lba=lba, rl=rl, wl=wl)
+        self._bucket_for(slice_index)[entry] = None
+        self._count += 1
+        self._wl_total += wl
+        return entry
+
+    def _release(self, entry: TableEntry, unindex: bool, unbucket: bool = True) -> None:
+        """Drop ``entry`` from the table and recycle its storage."""
+        if unindex:
+            index = self._index
+            for lba in range(entry.lba, entry.end_lba):
+                if index.get(lba) is entry:
+                    del index[lba]
+        if unbucket:
+            bucket = self._buckets.get(entry.slice_index)
+            if bucket is not None:
+                bucket.pop(entry, None)
+                if not bucket:
+                    del self._buckets[entry.slice_index]
+        self._count -= 1
+        self._wl_total -= entry.wl
+        if len(self._free) < FREE_LIST_CAP:
+            self._free.append(entry)
+
+    def _bucket_for(self, slice_index: int) -> Dict[TableEntry, None]:
+        bucket = self._buckets.get(slice_index)
+        if bucket is None:
+            bucket = self._buckets[slice_index] = {}
+        return bucket
+
+    def _touch(self, entry: TableEntry, slice_index: int) -> None:
+        """Refresh the entry's ``Time``, moving it between expiry buckets."""
+        if entry.slice_index == slice_index:
+            return
+        bucket = self._buckets.get(entry.slice_index)
+        if bucket is not None:
+            bucket.pop(entry, None)
+            if not bucket:
+                del self._buckets[entry.slice_index]
+        entry.slice_index = slice_index
+        self._bucket_for(slice_index)[entry] = None
 
     # -- updates --------------------------------------------------------
 
@@ -107,13 +186,13 @@ class CountingTable:
         """
         entry = self._index.get(lba)
         if entry is not None:
-            entry.slice_index = slice_index
+            self._touch(entry, slice_index)
             return entry
 
         left = self._index.get(lba - 1) if lba > 0 else None
         if left is not None and left.end_lba == lba and left.rl < MAX_RUN_BLOCKS:
             left.rl += 1
-            left.slice_index = slice_index
+            self._touch(left, slice_index)
             self._index[lba] = left
             self._maybe_merge(left, slice_index)
             return left
@@ -122,12 +201,18 @@ class CountingTable:
         if right is not None and right.lba == lba + 1 and right.rl < MAX_RUN_BLOCKS:
             right.lba = lba
             right.rl += 1
-            right.slice_index = slice_index
+            self._touch(right, slice_index)
             self._index[lba] = right
-            return right
+            # Merging must be symmetric: the freshly extended run may now
+            # abut a run on its *left* (scanned right-to-left); merge that
+            # neighbour forward into place (MergeEntry).
+            if lba > 0:
+                neighbour = self._index.get(lba - 1)
+                if neighbour is not None and neighbour.end_lba == lba:
+                    self._maybe_merge(neighbour, slice_index)
+            return self._index[lba]
 
-        entry = TableEntry(slice_index=slice_index, lba=lba)
-        self._entries.append(entry)
+        entry = self._alloc(slice_index, lba)
         self._index[lba] = entry
         return entry
 
@@ -148,19 +233,19 @@ class CountingTable:
             # run-length (SplitEntry).
             entry = self._split(entry, lba)
         entry.wl += 1
-        entry.slice_index = slice_index
+        self._wl_total += 1
+        self._touch(entry, slice_index)
         return True
 
     def _split(self, entry: TableEntry, at_lba: int) -> TableEntry:
         """Split ``entry`` so a new entry begins at ``at_lba``."""
-        right = TableEntry(
-            slice_index=entry.slice_index,
-            lba=at_lba,
+        right = self._alloc(
+            entry.slice_index,
+            at_lba,
             rl=entry.end_lba - at_lba,
             wl=0,
         )
         entry.rl = at_lba - entry.lba
-        self._entries.append(right)
         for lba in range(right.lba, right.end_lba):
             self._index[lba] = right
         return right
@@ -182,10 +267,10 @@ class CountingTable:
         ):
             return
         entry.rl += neighbour.rl
-        entry.slice_index = slice_index
+        self._touch(entry, slice_index)
         for lba in range(neighbour.lba, neighbour.end_lba):
             self._index[lba] = entry
-        self._remove_entry(neighbour, unindex=False)
+        self._release(neighbour, unindex=False)
 
     # -- expiry --------------------------------------------------------
 
@@ -193,21 +278,23 @@ class CountingTable:
         """Drop entries last touched before ``oldest_live_slice``.
 
         Called when the window slides (Algorithm 1 line 6).  Returns the
-        number of entries dropped.
+        number of entries dropped.  Cost is O(stale entries + live
+        buckets); live buckets span at most the detection window, so the
+        scan never touches surviving entries.
         """
-        stale = [e for e in self._entries if e.slice_index < oldest_live_slice]
-        for entry in stale:
-            self._remove_entry(entry, unindex=True)
-        return len(stale)
-
-    def _remove_entry(self, entry: TableEntry, unindex: bool) -> None:
-        if unindex:
-            for lba in range(entry.lba, entry.end_lba):
-                if self._index.get(lba) is entry:
-                    del self._index[lba]
-        self._entries.remove(entry)
+        stale_keys = [key for key in self._buckets if key < oldest_live_slice]
+        dropped = 0
+        for key in stale_keys:
+            bucket = self._buckets.pop(key)
+            for entry in bucket:
+                self._release(entry, unindex=True, unbucket=False)
+                dropped += 1
+        return dropped
 
     def clear(self) -> None:
         """Drop everything (used when the detector resets after recovery)."""
         self._index.clear()
-        self._entries.clear()
+        self._buckets.clear()
+        self._count = 0
+        self._wl_total = 0
+        self._free.clear()

@@ -89,6 +89,9 @@ class RansomwareDetector:
         self.events: List[DetectionEvent] = []
         self.alarm_event: Optional[DetectionEvent] = None
         self._current = SliceStats(index=0)
+        #: Idle slices skipped by the fast-forward path (state-identical
+        #: slices that were never individually evaluated).
+        self.fast_forwarded_slices = 0
 
     # -- streaming interface ----------------------------------------------
 
@@ -103,21 +106,46 @@ class RansomwareDetector:
         return self.scores.score
 
     def observe(self, request: IORequest) -> None:
-        """Ingest one request header (multi-block requests are split)."""
+        """Ingest one request header (multi-block requests are split).
+
+        Multi-block requests are folded block-by-block without materialising
+        per-unit :class:`IORequest` objects — Algorithm 1's ``Length == 1``
+        semantics at a fraction of the allocation cost.
+        """
         self.tick(request.time)
-        for unit in request.split():
-            self._ingest(unit)
+        current = self._current
+        index = current.index
+        if request.is_read:
+            current.rio += request.length
+            record_read = self.table.record_read
+            for lba in range(request.lba, request.end_lba):
+                record_read(lba, index)
+        else:
+            current.wio += request.length
+            record_write = self.table.record_write
+            overwritten = current.overwritten_lbas
+            for lba in range(request.lba, request.end_lba):
+                if record_write(lba, index):
+                    current.owio += 1
+                    overwritten.add(lba)
 
     def tick(self, now: float) -> None:
         """Advance simulated time, closing any slices that have expired.
 
         Call this even without I/O so quiet periods still decay the score.
+        Long idle gaps do not cost one loop iteration per empty slice: once
+        the detector state has provably converged (empty counting table,
+        idle-saturated window, constant verdict ring), the remaining gap is
+        fast-forwarded in O(window_slices) — see :meth:`_try_fast_forward`.
         """
         target_slice = int(now // self.config.slice_duration)
         while self._current.index < target_slice:
+            if self._try_fast_forward(target_slice):
+                break
             self._close_slice()
 
     def _ingest(self, unit: IORequest) -> None:
+        """Fold one unit-length request into the current slice."""
         if unit.is_read:
             self._current.rio += 1
             self.table.record_read(unit.lba, self._current.index)
@@ -126,6 +154,70 @@ class RansomwareDetector:
             if self.table.record_write(unit.lba, self._current.index):
                 self._current.owio += 1
                 self._current.overwritten_lbas.add(unit.lba)
+
+    def _try_fast_forward(self, target_slice: int) -> bool:
+        """Jump a converged idle gap straight to ``target_slice``.
+
+        Engages only when every remaining slice close is provably a
+        state-identical no-op: the current slice saw no I/O, the counting
+        table is empty (nothing left to expire), the window already holds N
+        idle slices, and the verdict ring is saturated with one constant
+        verdict — so features, verdict, score, and alarm state cannot
+        change.  The window contents and slice cursor are rewritten to
+        exactly what slice-by-slice closing would have produced; when
+        ``keep_history`` is on, the skipped slices' (identical) events are
+        still recorded so the event stream stays bit-for-bit equal to the
+        naive path.
+        """
+        skipped = target_slice - self._current.index
+        if skipped <= 1:
+            return False
+        current = self._current
+        if current.rio or current.wio or current.owio:
+            return False
+        if len(self.table) != 0:
+            return False
+        if not self.window.is_idle_saturated():
+            return False
+        verdict = self.scores.saturated_constant()
+        if verdict is None:
+            return False
+        # The ring may have saturated on verdicts computed while stale table
+        # entries were still alive; fast-forward is only sound when the
+        # idle-state features (all zeros here, by construction) keep
+        # producing that same verdict.
+        features = compute_features(self.table, self.window)
+        if self.tree.predict_one(features.as_tuple()) != verdict:
+            return False
+        score = self.scores.push_constant(verdict, skipped)
+        alarm = score >= self.config.threshold
+        if self.keep_history:
+            duration = self.config.slice_duration
+            self.events.extend(
+                DetectionEvent(
+                    time=(index + 1) * duration,
+                    slice_index=index,
+                    features=features,
+                    verdict=verdict,
+                    score=score,
+                    alarm=alarm,
+                )
+                for index in range(current.index, target_slice)
+            )
+        self.window.fill_idle(last_index=target_slice - 1)
+        self.fast_forwarded_slices += skipped
+        if self.obs.enabled:
+            self._m_slices.inc(skipped, verdict=verdict)
+            self._m_score.set(score)
+            tracer = self.obs.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "detector.fast_forward", category="detector",
+                    sim_time=target_slice * self.config.slice_duration,
+                    slices=skipped, verdict=verdict, score=score,
+                )
+        self._current = SliceStats(index=target_slice)
+        return True
 
     def _close_slice(self) -> None:
         closed = self._current

@@ -8,7 +8,7 @@ decays as the window slides (Algorithm 1 lines 5-7).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque
+from typing import Deque, Optional
 
 from repro.errors import ConfigError
 
@@ -36,6 +36,33 @@ class ScoreTracker:
             self._score -= self._verdicts[0]
         self._verdicts.append(verdict)
         self._score += verdict
+        return self._score
+
+    def saturated_constant(self) -> "Optional[int]":
+        """The verdict filling the whole ring, or None if mixed/unfull.
+
+        O(1): a full ring is constant exactly when the score is 0 (all
+        zeros) or N (all ones).  The detector's idle fast-forward uses this
+        to prove the score can no longer change during an empty gap.
+        """
+        if len(self._verdicts) != self.window_slices:
+            return None
+        if self._score == 0:
+            return 0
+        if self._score == self.window_slices:
+            return 1
+        return None
+
+    def push_constant(self, verdict: int, count: int) -> int:
+        """Fold ``count`` repetitions of ``verdict`` into the ring.
+
+        Only meaningful when the ring is already saturated with the same
+        verdict (the fast-forward case) — the score is unchanged, but the
+        call documents intent and keeps the ring's length bookkeeping
+        trivially correct for any future non-saturated use.
+        """
+        for _ in range(min(count, self.window_slices)):
+            self.push(verdict)
         return self._score
 
     def reset(self) -> None:

@@ -93,6 +93,10 @@ class PageMappedFTL:
 
     def read(self, lba: int, timestamp: float = 0.0) -> PageInfo:
         """Read the live version of ``lba``."""
+        # Reads advance the FTL's notion of "now" just like writes do:
+        # cost-benefit victim selection ages blocks against the newest host
+        # I/O, and a read-heavy phase must not freeze that clock.
+        self._last_timestamp = max(self._last_timestamp, timestamp)
         ppa = self.mapping.lookup(lba)
         if ppa is None:
             raise UnmappedReadError(f"LBA {lba} has never been written")
@@ -119,6 +123,7 @@ class PageMappedFTL:
 
     def trim(self, lba: int, timestamp: float = 0.0) -> None:
         """Discard the live version of ``lba`` (e.g. on file deletion)."""
+        self._last_timestamp = max(self._last_timestamp, timestamp)
         old_ppa = self.mapping.unmap(lba)
         self.stats.host_trims += 1
         if old_ppa is not None:

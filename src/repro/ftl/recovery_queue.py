@@ -97,11 +97,15 @@ class RecoveryQueue:
         """Drop (and return) entries older than the retention window.
 
         Expired entries release their pins: the paper deems data overwritten
-        more than a window ago safe, so the old pages become reclaimable.
+        *more than* a window ago safe, so the old pages become reclaimable.
+        The comparison is strict — an entry logged exactly one retention
+        window ago is on the boundary the paper still guarantees
+        recoverable, so it stays queued (and pinned) until time moves past
+        it.
         """
         cutoff = now - self.retention
         expired: List[BackupEntry] = []
-        while self._entries and self._entries[0].timestamp <= cutoff:
+        while self._entries and self._entries[0].timestamp < cutoff:
             expired.append(self._pop_front())
         return expired
 

@@ -41,6 +41,73 @@ class TestReads:
         assert entry.lba == 10 and entry.rl == 3
         assert len(table) == 1
 
+    def test_merge_after_left_extension(self, table):
+        """Scanning left-to-right: extending [10] to [10,11] must merge with
+        the run starting at 12."""
+        table.record_read(10, 0)
+        table.record_read(12, 0)
+        entry = table.record_read(11, 0)
+        assert entry.lba == 10 and entry.rl == 3
+        assert len(table) == 1
+
+    def test_merge_after_right_extension(self, table):
+        """The right-extension path (`right is not None`) historically never
+        merged with a further-left run; merging is now symmetric.  The
+        asymmetry was latent under today's extension conditions (a run
+        ending at ``lba`` always covers ``lba - 1``, so the left branch
+        wins first), but the symmetry must hold regardless of which branch
+        bridges the gap — fragmented runs skew AVGWIO's denominator."""
+        table.record_read(12, 0)   # seed the right run first...
+        table.record_read(10, 0)   # ...then a run to its left
+        entry = table.record_read(11, 0)  # bridges the two runs
+        assert entry.lba == 10 and entry.rl == 3
+        assert len(table) == 1
+        assert table.entry_for(10) is table.entry_for(12)
+
+    def test_no_unhealed_fragments_either_direction(self, table):
+        """The observable meaning of symmetric merging: whichever direction
+        runs are scanned or bridged from, the table never retains two
+        abutting overwrite-free runs that a single merge could coalesce."""
+        import random
+
+        rng = random.Random(7)
+        lbas = list(range(0, 48))
+        for trial in range(20):
+            table.clear()
+            rng.shuffle(lbas)
+            for lba in lbas:
+                table.record_read(lba, 0)
+            entries = {e.lba: e for e in table}
+            for e in entries.values():
+                neighbour = entries.get(e.end_lba)
+                assert not (
+                    neighbour is not None
+                    and e.wl == 0
+                    and neighbour.wl == 0
+                    and e.rl + neighbour.rl <= MAX_RUN_BLOCKS
+                ), f"unmerged fragments at {e.lba}+{e.rl} (trial {trial})"
+
+    def test_right_to_left_scan_coalesces(self, table):
+        """A strictly descending scan coalesces into one run, exactly like
+        the ascending scan does."""
+        for lba in range(19, 9, -1):
+            table.record_read(lba, 0)
+        ascending = CountingTable()
+        for lba in range(10, 20):
+            ascending.record_read(lba, 0)
+        assert len(table) == len(ascending) == 1
+        assert table.entry_for(10).rl == 10
+
+    def test_merge_symmetry_respects_run_cap(self, table):
+        """Right-extension merging honours MAX_RUN_BLOCKS like the left
+        path does."""
+        for lba in range(MAX_RUN_BLOCKS):
+            table.record_read(lba, 0)
+        table.record_read(MAX_RUN_BLOCKS + 1, 0)
+        table.record_read(MAX_RUN_BLOCKS, 0)  # extends the singleton leftward
+        assert all(e.rl <= MAX_RUN_BLOCKS for e in table)
+        assert len(table) == 2
+
     def test_disjoint_runs_stay_separate(self, table):
         table.record_read(10, 0)
         table.record_read(20, 0)

@@ -1,0 +1,121 @@
+"""Seeded-random invariant soak of the counting table (~10k ops per seed).
+
+This is the safety net under the hot-path rewrite (expiry buckets,
+free-list entry store, running WL total): after every burst of mixed
+read / write / expire traffic, the full set of ``_index``/entry-store
+invariants must hold — every indexed LBA is covered by its entry, every
+entry's span is indexed back to itself (so runs never overlap), the hash
+population equals the sum of run lengths, and the running aggregates match
+a from-scratch recount.
+
+Deliberately hypothesis-free: plain ``random.Random(seed)`` so a failure
+reproduces with nothing but the seed in the assertion message.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.counting_table import (
+    HASH_ENTRY_SIZE_BYTES,
+    MAX_RUN_BLOCKS,
+    TABLE_ENTRY_SIZE_BYTES,
+    CountingTable,
+)
+
+
+def check_invariants(table: CountingTable, context: str) -> None:
+    entries = list(table)
+    # Iteration yields each live entry exactly once and len() agrees.
+    assert len(entries) == len(table), context
+    assert len(set(map(id, entries))) == len(entries), context
+
+    covered = {}
+    total_rl = 0
+    total_wl = 0
+    for entry in entries:
+        assert 1 <= entry.rl <= MAX_RUN_BLOCKS, f"{context}: rl {entry.rl}"
+        assert entry.wl >= 0, context
+        total_rl += entry.rl
+        total_wl += entry.wl
+        for lba in range(entry.lba, entry.end_lba):
+            # No two runs overlap: each LBA belongs to at most one entry...
+            assert lba not in covered, f"{context}: overlap at LBA {lba}"
+            covered[lba] = entry
+            # ...and the index maps the entry's whole span back to it.
+            assert table.entry_for(lba) is entry, (
+                f"{context}: index miss for LBA {lba}"
+            )
+
+    # The index holds nothing beyond the live entries' spans.
+    assert table.hash_entries == total_rl == len(covered), context
+
+    # Running aggregates equal a from-scratch recount.
+    if entries:
+        assert table.mean_wl() == total_wl / len(entries), context
+    else:
+        assert table.mean_wl() == 0.0, context
+    assert table.memory_bytes() == (
+        total_rl * HASH_ENTRY_SIZE_BYTES
+        + len(entries) * TABLE_ENTRY_SIZE_BYTES
+    ), context
+
+
+@pytest.mark.parametrize("seed", [1, 7, 2018, 0xC0FFEE])
+def test_mixed_traffic_soak(seed):
+    rng = random.Random(seed)
+    table = CountingTable()
+    slice_index = 0
+    # Weighted op mix: mostly reads (sequential and random), a solid share
+    # of writes (overwrites + cold misses), periodic expiry as the window
+    # slides, and the occasional full reset.
+    for step in range(10_000):
+        roll = rng.random()
+        if roll < 0.45:
+            table.record_read(rng.randrange(0, 600), slice_index)
+        elif roll < 0.60:
+            # Sequential scan fragment, ascending or descending.
+            start = rng.randrange(0, 580)
+            span = range(start, start + rng.randrange(2, 12))
+            for lba in (span if rng.random() < 0.5 else reversed(span)):
+                table.record_read(lba, slice_index)
+        elif roll < 0.90:
+            table.record_write(rng.randrange(0, 600), slice_index)
+        elif roll < 0.97:
+            slice_index += 1
+            table.expire(slice_index - rng.randrange(1, 12))
+        elif roll < 0.995:
+            # Ransomware-style read-then-overwrite burst.
+            start = rng.randrange(0, 580)
+            for lba in range(start, start + rng.randrange(2, 10)):
+                table.record_read(lba, slice_index)
+                table.record_write(lba, slice_index)
+        else:
+            table.clear()
+        if step % 500 == 499:
+            check_invariants(table, f"seed={seed} step={step}")
+    check_invariants(table, f"seed={seed} final")
+    # Total expiry leaves a truly empty table (free-list fully recycled).
+    table.expire(slice_index + 100)
+    check_invariants(table, f"seed={seed} post-expiry")
+    assert len(table) == 0 and table.hash_entries == 0
+
+
+def test_stale_slices_fully_evicted_after_expire():
+    """expire(k) leaves no entry with slice_index < k, regardless of how
+    buckets were populated or reused."""
+    rng = random.Random(123)
+    table = CountingTable()
+    for slice_index in range(50):
+        for _ in range(80):
+            lba = rng.randrange(0, 400)
+            if rng.random() < 0.7:
+                table.record_read(lba, slice_index)
+            else:
+                table.record_write(lba, slice_index)
+        cutoff = slice_index - 10
+        table.expire(cutoff)
+        assert all(e.slice_index >= cutoff for e in table)
+        check_invariants(table, f"slice={slice_index}")

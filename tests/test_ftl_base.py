@@ -49,6 +49,22 @@ class TestBasicIo:
         ftl = small_ftl(op_ratio=0.5)
         assert ftl.num_lbas == int(64 * 0.5)
 
+    def test_reads_advance_victim_now(self):
+        """Regression: only writes advanced ``_last_timestamp``, so during a
+        read-heavy phase cost-benefit victim selection aged blocks against a
+        stale "now".  Every host I/O must track the newest timestamp."""
+        ftl = small_ftl()
+        ftl.write(3, 1.0, payload=b"x")
+        assert ftl._last_timestamp == 1.0
+        ftl.read(3, timestamp=57.5)
+        assert ftl._last_timestamp == 57.5
+        ftl.trim(3, timestamp=60.25)
+        assert ftl._last_timestamp == 60.25
+        # Out-of-order stragglers never rewind the clock.
+        with pytest.raises(UnmappedReadError):
+            ftl.read(3, timestamp=10.0)
+        assert ftl._last_timestamp == 60.25
+
     def test_invalid_op_ratio(self):
         nand = NandArray(NandGeometry.tiny())
         with pytest.raises(ConfigError):

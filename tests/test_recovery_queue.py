@@ -46,10 +46,29 @@ class TestExpiry:
         assert not queue.is_pinned(100)
         assert queue.is_pinned(101)
 
-    def test_expiry_boundary_inclusive(self):
+    def test_expiry_boundary_exclusive(self):
+        """An entry logged *exactly* one retention window ago is on the
+        boundary the paper still guarantees recoverable ("data written more
+        than a window ago is safe") — it must stay queued and pinned."""
         queue = RecoveryQueue(retention=10.0)
         queue.push(entry(1, 100, 0.0))
-        assert len(queue.expire(now=10.0)) == 1
+        assert queue.expire(now=10.0) == []
+        assert len(queue) == 1
+        assert queue.is_pinned(100)
+
+    def test_expiry_boundary_entry_still_rolls_back(self):
+        """Regression: with inclusive expiry (<=) the boundary entry was
+        dropped and its old page unpinned, losing rollback coverage for
+        data overwritten exactly ``retention`` seconds before the alarm."""
+        queue = RecoveryQueue(retention=10.0)
+        queue.push(entry(7, 350, 2.0))
+        queue.expire(now=12.0)          # 2.0 == 12.0 - retention: boundary
+        drained = queue.drain()
+        assert [e.lba for e in drained] == [7]
+        # Strictly past the boundary it does expire.
+        queue2 = RecoveryQueue(retention=10.0)
+        queue2.push(entry(7, 350, 2.0))
+        assert len(queue2.expire(now=12.0 + 1e-9)) == 1
 
     def test_expire_nothing(self):
         queue = RecoveryQueue(retention=10.0)
