@@ -31,6 +31,7 @@ from repro.core import (
     default_tree,
 )
 from repro.errors import ReproError
+from repro.faults import FaultConfig, FaultInjector
 from repro.ftl import ConventionalFTL, InsiderFTL
 from repro.nand import NandArray, NandGeometry, NandLatencies
 from repro.ssd import SSDConfig, SimulatedSSD
@@ -41,6 +42,8 @@ __all__ = [
     "ConventionalFTL",
     "DecisionTree",
     "DetectorConfig",
+    "FaultConfig",
+    "FaultInjector",
     "FeatureVector",
     "IOMode",
     "IORequest",

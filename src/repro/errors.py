@@ -31,6 +31,30 @@ class ReadError(NandError):
     """A page read targeted an unwritten or out-of-range page."""
 
 
+class ProgramFailError(NandError):
+    """A page program failed its verify step (injected media fault).
+
+    The page is consumed but holds garbage; firmware must remap the write
+    to another block and retire the failing one.
+    """
+
+    def __init__(self, message: str, ppa: int = -1) -> None:
+        super().__init__(message)
+        #: Flat physical page address of the burned page.
+        self.ppa = ppa
+
+
+class UncorrectableReadError(ReadError):
+    """A page read stayed corrupt after exhausting the ECC retry budget."""
+
+    def __init__(self, message: str, ppa: int = -1, retries: int = 0) -> None:
+        super().__init__(message)
+        #: Flat physical page address that could not be read.
+        self.ppa = ppa
+        #: Read retries spent before giving up.
+        self.retries = retries
+
+
 class AddressError(NandError):
     """A physical or logical address was out of range."""
 
@@ -41,6 +65,14 @@ class FtlError(ReproError):
 
 class OutOfSpaceError(FtlError):
     """The FTL ran out of free pages even after garbage collection."""
+
+
+class ExhaustedRetriesError(FtlError):
+    """Consecutive program failures exhausted the remap budget.
+
+    Raised when every replacement block the FTL tried also failed to
+    program — the media is dying faster than remapping can route around.
+    The device reacts by locking down (graceful degradation)."""
 
 
 class UnmappedReadError(FtlError):

@@ -1,0 +1,41 @@
+"""Deterministic NAND fault injection and the sweep that measures recovery.
+
+The paper's headline — instant recovery with **0 % data loss** — is only
+credible if it survives the flash misbehaving.  This package provides:
+
+* :class:`~repro.faults.config.FaultConfig` — rates and shapes for every
+  injectable fault: read bit errors (in-line-correctable, transient,
+  hard), program fails, erase fails, factory-bad blocks, and a scheduled
+  whole-device power loss;
+* :class:`~repro.faults.injector.FaultInjector` — the seed-driven
+  decision source the NAND array consults on every program/read/erase
+  (independent RNG streams per fault class, fully deterministic);
+* :mod:`repro.faults.sweep` — the experiment harness behind
+  ``python -m repro.tools.faultsweep``: it measures lost LBAs vs fault
+  rate with a power loss mid-attack and emits
+  ``results/FAULTS_sweep.json``.
+
+Injection defaults **off** everywhere: a device built without a
+``FaultConfig`` takes the exact same code paths as before this package
+existed, and the no-fault equivalence test holds its
+:class:`~repro.core.detector.DetectionEvent` stream bit-identical to the
+golden scenarios.  The firmware-side handling (ECC read retry, program
+remap + block retirement, rebuild after power loss, degraded lockdown)
+lives where real firmware puts it: :mod:`repro.nand`, :mod:`repro.ftl`
+and :mod:`repro.ssd`.  The reliability model is documented in
+``docs/faults.md``.
+"""
+
+from repro.faults.config import FaultConfig
+from repro.faults.injector import FaultInjector, FaultStats, ReadFault
+from repro.faults.sweep import FaultTrialResult, run_fault_trial, run_sweep
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
+    "FaultTrialResult",
+    "ReadFault",
+    "run_fault_trial",
+    "run_sweep",
+]

@@ -1,0 +1,332 @@
+"""Fault sweep: measure recovery completeness as media faults scale up.
+
+The experiment behind ``results/FAULTS_sweep.json``.  Each trial populates
+a device with known payloads, lets a ransomware sample attack it while the
+fault injector corrupts reads/programs/erases (and optionally cuts power
+mid-attack), waits for the alarm, rolls the mapping table back, and then
+audits *every* user LBA bit-exactly.
+
+Audit mismatches are classified into two buckets that the reliability
+model (``docs/faults.md``) keeps separate:
+
+* ``lost_lbas_media`` — the read came back uncorrectable even after the
+  full ECC retry budget.  No FTL can restore a page the media destroyed;
+  this is the physical degradation boundary.
+* ``lost_lbas_rollback`` — the media read fine but the content is wrong.
+  This would be a *recovery* failure and is the number the paper's
+  "perfect data recovery" guarantee says must stay zero whenever the
+  alarm fires within the retention window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.faults.config import FaultConfig
+from repro.nand.geometry import NandGeometry
+from repro.rand import derive_rng
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SimulatedSSD
+from repro.workloads.base import LbaRegion
+from repro.workloads.ransomware.profiles import make_ransomware
+
+
+#: Raw media-fault probabilities swept by default.  The derived per-class
+#: rates (see :func:`build_fault_config`) put the uncorrectable-read
+#: boundary inside the range so the sweep shows both the flat zero-loss
+#: region and where physical loss begins.
+DEFAULT_RATES = (0.0, 1e-4, 5e-4, 2e-3, 1e-2, 5e-2)
+
+#: Share of injected read faults that are hard (beyond any retry budget).
+HARD_SHARE = 0.02
+
+#: Share of injected read faults needing 1..k retries (the rest correct
+#: in-line on the first read).
+TRANSIENT_SHARE = 0.30
+
+#: Simulated seconds between attack onset and the injected power cut.
+#: Short enough to land before the detector's typical alarm latency, so
+#: the trial genuinely exercises the OOB rebuild path mid-attack.
+POWER_LOSS_DELAY = 0.5
+
+#: Populate-phase inter-write gap (matches the defense harness).
+WRITE_GAP = 0.0005
+
+#: The sweep's device geometry.  The victim region must be large enough
+#: that the attack spans several detector slices — the 64 MiB ``small``
+#: array's third-of-LBA-space corpus is encrypted in under two slices and
+#: the score window never accumulates — so the sweep uses the same
+#: 256 MiB array as the defense-harness experiments.
+SWEEP_GEOMETRY = NandGeometry(
+    channels=2, ways=4, blocks_per_chip=128, pages_per_block=64
+)
+
+#: Quiet seconds past the retention window between populate and attack.
+IDLE_SLACK = 5.0
+
+
+@dataclass
+class FaultTrialResult:
+    """One (fault rate, seed) point of the sweep, fully audited."""
+
+    fault_rate: float
+    seed: int
+    sample: str
+    power_loss_enabled: bool
+    # Detection / recovery outcome.
+    alarm_raised: bool = False
+    detection_latency: Optional[float] = None
+    alarm_within_window: bool = False
+    power_loss_fired: bool = False
+    attack_requests_served: int = 0
+    rollback_updates: int = 0
+    # Audit (every user LBA, bit-exact).
+    audited_lbas: int = 0
+    lost_lbas_media: int = 0
+    lost_lbas_rollback: int = 0
+    # Media / firmware health counters at audit time.
+    corrected_reads: int = 0
+    read_retries: int = 0
+    uncorrectable_reads: int = 0
+    program_fails: int = 0
+    erase_fails: int = 0
+    grown_bad_blocks: int = 0
+    retired_blocks: int = 0
+    retirement_copies: int = 0
+    failed_writes: int = 0
+    dropped_writes: int = 0
+    queue_evictions: int = 0
+    degraded: bool = False
+
+    @property
+    def perfect_recovery(self) -> bool:
+        """The paper's guarantee, restated under faults: an in-window
+        alarm loses nothing to the *rollback* (media loss is accounted
+        separately)."""
+        return self.alarm_within_window and self.lost_lbas_rollback == 0
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form, derived fields included."""
+        data = asdict(self)
+        data["perfect_recovery"] = self.perfect_recovery
+        return data
+
+
+def build_fault_config(
+    fault_rate: float,
+    seed: int,
+    power_loss_at: Optional[float],
+) -> Optional[FaultConfig]:
+    """Derive the per-class injector rates from one sweep knob.
+
+    Read faults fire at the raw rate; program/erase verify failures are an
+    order of magnitude rarer (as on real NAND, where read disturb and
+    retention errors dominate grown defects).  A zero rate with no power
+    loss returns ``None`` — the device then takes the exact pre-fault
+    code paths.
+    """
+    if fault_rate == 0.0 and power_loss_at is None:
+        return None
+    return FaultConfig(
+        seed=seed,
+        read_fault_rate=fault_rate,
+        read_transient_share=TRANSIENT_SHARE,
+        read_hard_share=HARD_SHARE if fault_rate > 0.0 else 0.0,
+        program_fail_rate=fault_rate / 10.0,
+        erase_fail_rate=fault_rate / 10.0,
+        factory_bad_blocks=2 if fault_rate > 0.0 else 0,
+        power_loss_at=power_loss_at,
+    )
+
+
+def run_fault_trial(
+    fault_rate: float,
+    seed: int = 0,
+    sample: str = "wannacry",
+    geometry: Optional[NandGeometry] = None,
+    op_ratio: float = 0.125,
+    power_loss: bool = True,
+    attack_duration: float = 60.0,
+    audit_stride: int = 1,
+) -> FaultTrialResult:
+    """Run one populate → attack → (power cut) → alarm → rollback → audit
+    trial and classify every lost LBA.
+
+    Args:
+        fault_rate: Raw media-fault probability (see
+            :func:`build_fault_config` for the per-class derivation).
+        seed: Drives payloads, the attack stream, and the injector.
+        sample: Ransomware profile name.
+        geometry: NAND dimensions (default: the experiment-sized array).
+        op_ratio: Over-provisioning ratio.
+        power_loss: Schedule a power cut shortly after attack onset so the
+            trial exercises the OOB mapping/queue rebuild.
+        attack_duration: Upper bound on the attack's simulated runtime.
+        audit_stride: Audit every ``stride``-th LBA (1 = all of them).
+    """
+    geometry = geometry or SWEEP_GEOMETRY
+    num_lbas = int(geometry.pages_total * (1.0 - op_ratio))
+    user_blocks = num_lbas // 3
+
+    # The whole timeline is deterministic, so the power-loss instant can
+    # be computed before the device exists (FaultConfig is frozen).
+    populate_end = user_blocks * WRITE_GAP
+    retention = 10.0
+    onset = populate_end + retention + IDLE_SLACK
+    power_loss_at = onset + POWER_LOSS_DELAY if power_loss else None
+
+    config = SSDConfig(
+        geometry=geometry,
+        op_ratio=op_ratio,
+        retention=retention,
+        # Provision the change log so capacity evictions never eat into
+        # the guarantee (Table III sizing is the experiment's subject,
+        # not this one's).
+        queue_capacity=max(4 * user_blocks, 1024),
+        faults=build_fault_config(fault_rate, seed, power_loss_at),
+    )
+    device = SimulatedSSD(config)
+
+    rng = derive_rng(seed, "fault-trial", "payloads")
+    contents: Dict[int, bytes] = {}
+    for lba in range(user_blocks):
+        payload = bytes([int(rng.integers(0, 256))]) * 24
+        device.write(lba, payload, now=device.clock.now + WRITE_GAP)
+        contents[lba] = payload
+    device.tick(onset)
+
+    result = FaultTrialResult(
+        fault_rate=fault_rate,
+        seed=seed,
+        sample=sample,
+        power_loss_enabled=power_loss,
+    )
+
+    attack = make_ransomware(
+        sample,
+        LbaRegion(0, user_blocks),
+        start=onset,
+        duration=attack_duration,
+        seed=seed,
+    )
+    for request in attack.requests():
+        device.submit(request)
+        result.attack_requests_served += 1
+        if device.alarm_raised:
+            break
+
+    result.alarm_raised = device.alarm_raised
+    if result.alarm_raised:
+        result.detection_latency = device.clock.now - onset
+        result.alarm_within_window = result.detection_latency <= retention
+        result.rollback_updates = device.recover().mapping_updates
+
+    for lba in range(0, user_blocks, max(1, audit_stride)):
+        result.audited_lbas += 1
+        before = device.stats.uncorrectable_reads
+        data = device.read(lba)
+        if device.stats.uncorrectable_reads > before:
+            result.lost_lbas_media += 1
+        elif data[: len(contents[lba])] != contents[lba]:
+            result.lost_lbas_rollback += 1
+
+    # The pin index must survive everything the trial threw at it.
+    device.ftl.queue.audit()
+
+    reliability = device.nand.reliability
+    result.power_loss_fired = device.stats.power_losses > 0
+    result.corrected_reads = reliability.corrected_reads
+    result.read_retries = reliability.read_retries
+    result.uncorrectable_reads = reliability.uncorrectable_reads
+    result.program_fails = reliability.program_fails
+    result.erase_fails = reliability.erase_fails
+    result.grown_bad_blocks = device.ftl.stats.bad_blocks
+    result.retired_blocks = device.ftl.allocator.retired_blocks
+    result.retirement_copies = device.ftl.stats.retirement_copies
+    result.failed_writes = device.stats.failed_writes
+    result.dropped_writes = device.stats.dropped_writes
+    result.queue_evictions = device.ftl.queue.evictions
+    result.degraded = device.degraded
+    return result
+
+
+def summarize(trials: Sequence[FaultTrialResult]) -> Dict:
+    """Roll the sweep up into the two headline numbers.
+
+    ``rollback_loss_zero_when_alarmed`` is the guarantee under test;
+    ``media_loss_boundary_rate`` is the lowest fault rate at which the
+    media itself (not the rollback) started losing data.
+    """
+    alarmed = [t for t in trials if t.alarm_within_window]
+    media_lossy = sorted(
+        t.fault_rate for t in trials if t.lost_lbas_media > 0
+    )
+    return {
+        "trials": len(trials),
+        "alarms_within_window": len(alarmed),
+        "rollback_loss_zero_when_alarmed": all(
+            t.lost_lbas_rollback == 0 for t in alarmed
+        ),
+        "max_rollback_loss": max((t.lost_lbas_rollback for t in trials), default=0),
+        "media_loss_boundary_rate": media_lossy[0] if media_lossy else None,
+        "total_media_lost_lbas": sum(t.lost_lbas_media for t in trials),
+        "power_losses_survived": sum(1 for t in trials if t.power_loss_fired),
+    }
+
+
+def run_sweep(
+    rates: Optional[Sequence[float]] = None,
+    seed: int = 0,
+    sample: str = "wannacry",
+    smoke: bool = False,
+    power_loss: bool = True,
+) -> Dict:
+    """Run the full sweep and return the JSON-ready results document.
+
+    ``smoke=True`` shrinks the geometry and rate list so the whole sweep
+    finishes in seconds (the CI smoke job's configuration).
+    """
+    geometry = SWEEP_GEOMETRY
+    op_ratio = 0.125
+    if smoke:
+        rates = list(rates) if rates is not None else [0.0, 2e-3, 5e-2]
+        attack_duration = 30.0
+    else:
+        rates = list(rates) if rates is not None else list(DEFAULT_RATES)
+        attack_duration = 60.0
+
+    trials: List[FaultTrialResult] = []
+    for rate in rates:
+        trials.append(
+            run_fault_trial(
+                rate,
+                seed=seed,
+                sample=sample,
+                geometry=geometry,
+                op_ratio=op_ratio,
+                power_loss=power_loss,
+                attack_duration=attack_duration,
+            )
+        )
+    return {
+        "experiment": "recovery-under-faults",
+        "config": {
+            "seed": seed,
+            "sample": sample,
+            "smoke": smoke,
+            "power_loss": power_loss,
+            "rates": list(rates),
+            "hard_share": HARD_SHARE,
+            "transient_share": TRANSIENT_SHARE,
+            "power_loss_delay": POWER_LOSS_DELAY,
+            "geometry": {
+                "channels": geometry.channels,
+                "ways": geometry.ways,
+                "blocks_per_chip": geometry.blocks_per_chip,
+                "pages_per_block": geometry.pages_per_block,
+            },
+        },
+        "trials": [trial.to_dict() for trial in trials],
+        "summary": summarize(trials),
+    }

@@ -12,8 +12,10 @@ from typing import Optional
 from repro.errors import (
     ConfigError,
     EraseError,
+    ExhaustedRetriesError,
     FtlError,
     OutOfSpaceError,
+    ProgramFailError,
     UnmappedReadError,
 )
 from repro.ftl.allocator import BlockAllocator
@@ -83,6 +85,16 @@ class PageMappedFTL:
         #: Optional static wear leveler (attach_wear_leveling()); checked
         #: after each GC round.
         self.wear_leveler = None
+        #: Blocks currently mid-retirement (re-entrancy guard: a program
+        #: failure during retirement relocation retires the *new* block,
+        #: never loops back into one already being drained).
+        self._retiring = set()
+        # Factory bad blocks (stamped before the FTL boots) are mapped
+        # out of the free pool before the first write, like real
+        # firmware's bad-block table scan.
+        for global_block in range(nand.num_blocks):
+            if nand.block(global_block).is_bad:
+                self.allocator.retire(global_block)
 
     # -- host interface --------------------------------------------------
 
@@ -104,18 +116,17 @@ class PageMappedFTL:
         return self.nand.read(ppa)
 
     def write(self, lba: int, timestamp: float = 0.0, payload: Optional[bytes] = None) -> int:
-        """Write ``lba``; returns the new physical page address."""
+        """Write ``lba``; returns the new physical page address.
+
+        A program-verify failure is survived transparently: the write is
+        remapped to a fresh block and the failing block is drained and
+        retired (see :meth:`_retire_block`); only
+        :class:`~repro.errors.ExhaustedRetriesError` — every replacement
+        block failing too — surfaces to the caller.
+        """
         self._last_timestamp = max(self._last_timestamp, timestamp)
         self._ensure_space()
-        try:
-            block = self.allocator.host_block()
-        except OutOfSpaceError:
-            # The free pool ran dry between GC passes (GC may have had to
-            # skip victims it could not finish); collect once more now that
-            # recent overwrites have created fully-invalid blocks.
-            self.collect_garbage()
-            block = self.allocator.host_block()
-        new_ppa = self.nand.program(block, lba, timestamp, payload)
+        new_ppa = self._host_program(lba, timestamp, payload)
         old_ppa = self.mapping.update(lba, new_ppa)
         self.stats.host_writes += 1
         self._on_superseded(lba, old_ppa, new_ppa, timestamp)
@@ -128,6 +139,94 @@ class PageMappedFTL:
         self.stats.host_trims += 1
         if old_ppa is not None:
             self._on_trimmed(lba, old_ppa, timestamp)
+
+    # -- programming with remap -------------------------------------------
+
+    #: Distinct blocks one logical program may try before the FTL declares
+    #: the media failed (the graceful-degradation boundary).
+    MAX_PROGRAM_ATTEMPTS = 4
+
+    def _host_program(self, lba: int, timestamp: float,
+                      payload: Optional[bytes]) -> int:
+        """Program a host write, remapping around verify failures."""
+        last: Optional[ProgramFailError] = None
+        for _ in range(self.MAX_PROGRAM_ATTEMPTS):
+            try:
+                block = self.allocator.host_block()
+            except OutOfSpaceError:
+                # The free pool ran dry between GC passes (GC may have had
+                # to skip victims it could not finish); collect once more
+                # now that recent overwrites have created fully-invalid
+                # blocks.
+                self.collect_garbage()
+                block = self.allocator.host_block()
+            try:
+                return self.nand.program(block, lba, timestamp, payload)
+            except ProgramFailError as exc:
+                last = exc
+                self.stats.program_fails += 1
+                self._retire_block(block)
+        raise ExhaustedRetriesError(
+            f"write of LBA {lba} failed program verify in "
+            f"{self.MAX_PROGRAM_ATTEMPTS} consecutive blocks"
+        ) from last
+
+    def _gc_program(self, lba: Optional[int], written_at: float,
+                    payload: Optional[bytes]) -> int:
+        """Program a relocation copy, remapping around verify failures."""
+        last: Optional[ProgramFailError] = None
+        for _ in range(self.MAX_PROGRAM_ATTEMPTS):
+            block = self.allocator.gc_block()
+            try:
+                return self.nand.program(block, lba, written_at, payload)
+            except ProgramFailError as exc:
+                last = exc
+                self.stats.program_fails += 1
+                self._retire_block(block)
+        raise ExhaustedRetriesError(
+            f"relocation of LBA {lba} failed program verify in "
+            f"{self.MAX_PROGRAM_ATTEMPTS} consecutive blocks"
+        ) from last
+
+    def _retire_block(self, global_block: int) -> None:
+        """Drain and permanently retire a block after a program failure.
+
+        Everything that must survive — valid pages and recovery-queue
+        pinned old versions — is relocated first, so retirement is
+        loss-free for both live data and rollback coverage.  The
+        ``_retiring`` guard keeps a failure during the relocation itself
+        (which retires the *target* block) from re-entering this block.
+        """
+        if (global_block in self._retiring
+                or self.allocator.is_retired(global_block)):
+            return
+        self._retiring.add(global_block)
+        try:
+            # Pull the block from circulation first so the relocation
+            # below can never be handed the dying block as a target.
+            self.allocator.retire(global_block)
+            geometry = self.nand.geometry
+            block = self.nand.block(global_block)
+            moved = 0
+            for ppa in self.nand.block_ppa_range(global_block):
+                page = block.pages[ppa % geometry.pages_per_block]
+                if page.state is PageState.VALID:
+                    self._copy_valid_page(ppa, page)
+                    moved += 1
+                elif page.state is PageState.INVALID and self._is_pinned(ppa):
+                    self._copy_pinned_page(ppa, page)
+                    moved += 1
+            self.stats.retirement_copies += moved
+            block.mark_bad()
+            self.stats.bad_blocks += 1
+            if self.obs.enabled and self.obs.tracer.enabled:
+                self.obs.tracer.instant(
+                    "ftl.block_retired", category="reliability",
+                    sim_time=self._last_timestamp, block=global_block,
+                    pages_moved=moved,
+                )
+        finally:
+            self._retiring.discard(global_block)
 
     # -- subclass hooks -------------------------------------------------
 
@@ -269,8 +368,7 @@ class PageMappedFTL:
             raise FtlError(
                 f"mapping invariant broken: valid page {ppa} not the live copy of its LBA"
             )
-        target = self.allocator.gc_block()
-        new_ppa = self.nand.program(target, lba, page.written_at, page.payload)
+        new_ppa = self._gc_program(lba, page.written_at, page.payload)
         self.mapping.update(lba, new_ppa)
         self.nand.invalidate(ppa)
         self.stats.gc_page_copies += 1
@@ -278,8 +376,7 @@ class PageMappedFTL:
             self._m_gc_copies.inc(kind="valid")
 
     def _copy_pinned_page(self, ppa: int, page: PageInfo) -> None:
-        target = self.allocator.gc_block()
-        new_ppa = self.nand.program(target, page.lba, page.written_at, page.payload)
+        new_ppa = self._gc_program(page.lba, page.written_at, page.payload)
         # The relocated copy is still an *old version*, so it is immediately
         # invalid; only the recovery queue keeps it alive.
         self.nand.invalidate(new_ppa)

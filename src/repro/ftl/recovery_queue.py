@@ -14,7 +14,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Iterator, List, Optional
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, FtlError
 
 
 #: Per-entry DRAM footprint in bytes used by the paper's Table III.
@@ -146,6 +146,35 @@ class RecoveryQueue:
     def memory_bytes(self) -> int:
         """Current DRAM footprint under the paper's Table III sizing."""
         return len(self._entries) * ENTRY_SIZE_BYTES
+
+    def audit(self) -> None:
+        """Verify the pin index against the queue; raise on inconsistency.
+
+        Invariants (the ones block retirement and GC relocation must
+        preserve): every pinned PPA points at an entry that is still
+        queued and whose ``old_ppa`` is that PPA, and no two pins share
+        an entry.  Tests and the fault sweep call this after stressful
+        transitions (retirement, repin, power-loss rebuild).
+        """
+        queued = {id(entry) for entry in self._entries}
+        seen = set()
+        for ppa, entry in self._pinned.items():
+            if entry.old_ppa != ppa:
+                raise FtlError(
+                    f"pin index corrupt: PPA {ppa} maps to an entry whose "
+                    f"old_ppa is {entry.old_ppa}"
+                )
+            if id(entry) not in queued:
+                raise FtlError(
+                    f"pin index corrupt: PPA {ppa} pins an entry no longer "
+                    f"in the queue"
+                )
+            if id(entry) in seen:
+                raise FtlError(
+                    f"pin index corrupt: entry for LBA {entry.lba} is "
+                    f"pinned under two PPAs"
+                )
+            seen.add(id(entry))
 
 
 def ppa_msg(ppa: int) -> str:

@@ -24,8 +24,12 @@ class FtlStats:
     #: (a subset of gc_page_copies; always 0 for the conventional FTL).
     gc_pinned_copies: int = 0
     erases: int = 0
-    #: Blocks retired after an erase failure (grown bad blocks).
+    #: Blocks retired after an erase or program failure (grown bad blocks).
     bad_blocks: int = 0
+    #: Page programs that failed verify and were remapped to another block.
+    program_fails: int = 0
+    #: Pages relocated out of a block being retired (valid + pinned).
+    retirement_copies: int = 0
 
     @property
     def write_amplification(self) -> float:

@@ -4,19 +4,28 @@ Models the physical substrate SSD-Insider relies on: pages that cannot be
 updated in place, blocks that must be erased as a unit, and the resulting
 *delayed deletion* property — old data stays physically present until garbage
 collection erases it, which is exactly what the recovery algorithm exploits.
+
+The substrate can also misbehave on demand: attach a
+:class:`~repro.faults.injector.FaultInjector` to the array and reads may
+return bit errors (survived via the :mod:`repro.nand.ecc` retry policy),
+programs and erases may fail verify, and blocks may ship factory-bad —
+the fault surface ``docs/faults.md`` documents.
 """
 
 from repro.nand.array import NandArray
 from repro.nand.block import Block, PageState
 from repro.nand.chip import NandChip
+from repro.nand.ecc import EccConfig, ReliabilityCounters
 from repro.nand.geometry import NandGeometry
 from repro.nand.latency import NandLatencies
 
 __all__ = [
     "Block",
+    "EccConfig",
     "NandArray",
     "NandChip",
     "NandGeometry",
     "NandLatencies",
     "PageState",
+    "ReliabilityCounters",
 ]

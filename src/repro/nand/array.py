@@ -3,6 +3,13 @@
 The FTL talks to this class only through physical page addresses; the array
 translates them to (chip, block, page) per the geometry's layout and keeps
 global operation/latency accounting.
+
+The array is also where media faults surface: when a
+:class:`~repro.faults.injector.FaultInjector` is attached, every
+program/read/erase consults it, reads run through the ECC retry loop
+(:class:`~repro.nand.ecc.EccConfig`), and the outcomes accumulate in
+:class:`~repro.nand.ecc.ReliabilityCounters`.  Without an injector every
+operation takes exactly the pre-fault code path.
 """
 
 from __future__ import annotations
@@ -10,8 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.errors import EraseError, ProgramFailError, UncorrectableReadError
 from repro.nand.block import Block, PageInfo, PageState
 from repro.nand.chip import NandChip
+from repro.nand.ecc import EccConfig, ReliabilityCounters
 from repro.nand.geometry import NandGeometry
 from repro.nand.latency import NandLatencies
 
@@ -38,15 +47,25 @@ class NandArray:
         self,
         geometry: Optional[NandGeometry] = None,
         latencies: Optional[NandLatencies] = None,
+        faults=None,
+        ecc: Optional[EccConfig] = None,
     ) -> None:
         self.geometry = geometry or NandGeometry.small()
         self.latencies = latencies or NandLatencies()
+        #: Optional :class:`~repro.faults.injector.FaultInjector`; None
+        #: keeps every operation on the fault-free fast path.
+        self.faults = faults
+        self.ecc = ecc or EccConfig()
+        self.reliability = ReliabilityCounters()
         self._chips: List[NandChip] = [
             NandChip(self.geometry.blocks_per_chip, self.geometry.pages_per_block)
             for _ in range(self.geometry.num_chips)
         ]
         #: Accumulated simulated NAND busy time in seconds.
         self.busy_time = 0.0
+        if faults is not None:
+            for global_block in faults.factory_bad_blocks(self.num_blocks):
+                self.block(global_block).mark_bad()
 
     # -- block addressing ----------------------------------------------
 
@@ -73,19 +92,78 @@ class NandArray:
     # -- page operations --------------------------------------------------
 
     def program(self, global_block: int, lba: int, timestamp: float, payload=None) -> int:
-        """Program the next page of a block; returns the page's flat PPA."""
+        """Program the next page of a block; returns the page's flat PPA.
+
+        With a fault injector attached, the program may fail its verify
+        step: the page is burned (consumed, unreadable) and
+        :class:`~repro.errors.ProgramFailError` is raised for the FTL to
+        remap the write and retire the block.
+        """
         chip_index = global_block // self.geometry.blocks_per_chip
         block_index = global_block % self.geometry.blocks_per_chip
-        page_index = self._chips[chip_index].program(block_index, lba, timestamp, payload)
+        chip = self._chips[chip_index]
+        page_index = chip.program(block_index, lba, timestamp, payload)
         self.busy_time += self.latencies.page_program
-        return global_block * self.geometry.pages_per_block + page_index
+        ppa = global_block * self.geometry.pages_per_block + page_index
+        if self.faults is not None and self.faults.on_program(global_block):
+            chip.block(block_index).burn(page_index)
+            self.reliability.program_fails += 1
+            chip.counters.program_fails += 1
+            raise ProgramFailError(
+                f"program verify failed at PPA {ppa} (block {global_block})",
+                ppa=ppa,
+            )
+        return ppa
 
     def read(self, ppa: int) -> PageInfo:
-        """Read a page by flat PPA."""
+        """Read a page by flat PPA.
+
+        With a fault injector attached, the read may come back with raw
+        bit errors; the ECC retry loop re-reads with backoff up to the
+        configured budget and raises
+        :class:`~repro.errors.UncorrectableReadError` when the page stays
+        corrupt.
+        """
         chip_index, block_index, page_index = self.geometry.decompose(ppa)
         info = self._chips[chip_index].read(block_index, page_index)
         self.busy_time += self.latencies.page_read
+        if self.faults is not None:
+            fault = self.faults.on_read(ppa)
+            if fault is not None:
+                self._correct_read(fault, chip_index, block_index, page_index)
         return info
+
+    def _correct_read(self, fault, chip_index: int, block_index: int,
+                      page_index: int) -> None:
+        """Run the ECC retry loop for one faulty read.
+
+        In-line-correctable faults cost nothing extra; transient faults
+        re-read the page (each retry is a real chip read — it counts
+        against read disturb too) with latency backoff; hard faults and
+        transients needing more retries than the budget allows end in
+        :class:`~repro.errors.UncorrectableReadError`.
+        """
+        if fault.retries_needed == 0 and not fault.hard:
+            self.reliability.corrected_reads += 1
+            return
+        budget = self.ecc.max_read_retries
+        retries = budget if fault.hard else min(fault.retries_needed, budget)
+        chip = self._chips[chip_index]
+        for attempt in range(1, retries + 1):
+            chip.read(block_index, page_index)
+            self.busy_time += self.latencies.read_retry(
+                attempt, self.ecc.retry_backoff
+            )
+            self.reliability.read_retries += 1
+        if fault.hard or fault.retries_needed > budget:
+            self.reliability.uncorrectable_reads += 1
+            raise UncorrectableReadError(
+                f"read at PPA {fault.ppa} uncorrectable after "
+                f"{retries} retries",
+                ppa=fault.ppa,
+                retries=retries,
+            )
+        self.reliability.corrected_reads += 1
 
     def page_state(self, ppa: int) -> PageState:
         """State of a page without counting a device read."""
@@ -98,10 +176,33 @@ class NandArray:
         self._chips[chip_index].block(block_index).invalidate(page_index)
 
     def erase(self, global_block: int) -> None:
-        """Erase a global block."""
+        """Erase a global block.
+
+        With a fault injector attached, the erase may fail its verify
+        step: the block is marked bad and
+        :class:`~repro.errors.EraseError` is raised — the grown-bad-block
+        path the FTL already survives for natural wear-out.
+        """
         chip_index = global_block // self.geometry.blocks_per_chip
         block_index = global_block % self.geometry.blocks_per_chip
-        self._chips[chip_index].erase(block_index)
+        chip = self._chips[chip_index]
+        if self.faults is not None and self.faults.on_erase(global_block):
+            chip.block(block_index).mark_bad()
+            self.reliability.erase_fails += 1
+            chip.counters.erase_fails += 1
+            self.busy_time += self.latencies.block_erase
+            raise EraseError(
+                f"erase verify failed on block {global_block} (injected wear-out)"
+            )
+        try:
+            chip.erase(block_index)
+        except EraseError:
+            # Natural wear-out (fail_next_erase): account it like an
+            # injected failure so SMART sees one consistent counter.
+            self.reliability.erase_fails += 1
+            chip.counters.erase_fails += 1
+            self.busy_time += self.latencies.block_erase
+            raise
         self.busy_time += self.latencies.block_erase
 
     # -- accounting -------------------------------------------------------

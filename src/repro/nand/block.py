@@ -84,6 +84,8 @@ class Block:
 
     def program(self, lba: int, timestamp: float, payload: Optional[bytes] = None) -> int:
         """Program the next page; returns the page index within the block."""
+        if self.is_bad:
+            raise ProgramError("block is marked bad")
         if self.is_full:
             raise ProgramError(f"block full ({self.num_pages} pages programmed)")
         index = self.write_pointer
@@ -105,6 +107,29 @@ class Block:
             raise ReadError(f"page {page_index} has not been programmed")
         self.reads_since_erase += 1
         return page
+
+    def burn(self, page_index: int) -> None:
+        """Write off a just-programmed page whose program verify failed.
+
+        The page is consumed (the write pointer stays advanced — NAND
+        cannot reprogram it without an erase) but holds garbage: it is
+        marked INVALID with its out-of-band record cleared, so neither
+        reads nor a power-loss rebuild will ever trust it.
+        """
+        page = self.pages[page_index]
+        if page.state is not PageState.VALID:
+            raise ProgramError(
+                f"cannot burn page {page_index} in state {page.state.value}"
+            )
+        page.state = PageState.INVALID
+        page.lba = None
+        page.written_at = 0.0
+        page.payload = None
+        self.valid_count -= 1
+
+    def mark_bad(self) -> None:
+        """Permanently flag the block bad (factory map-out or grown)."""
+        self.is_bad = True
 
     def invalidate(self, page_index: int) -> None:
         """Mark a valid page as superseded."""

@@ -16,6 +16,12 @@ class ChipCounters:
     reads: int = 0
     programs: int = 0
     erases: int = 0
+    #: Page programs on this chip that failed verify (per-chip health
+    #: attribution; the array-wide totals live in
+    #: :class:`~repro.nand.ecc.ReliabilityCounters`).
+    program_fails: int = 0
+    #: Block erases on this chip that failed verify.
+    erase_fails: int = 0
 
 
 class NandChip:

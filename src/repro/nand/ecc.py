@@ -1,0 +1,73 @@
+"""ECC read-retry policy and reliability accounting for the NAND array.
+
+Real NAND controllers correct a few raw bit errors in-line with BCH/LDPC
+codes; when a read exceeds the code's strength they *retry* the read with
+shifted sense voltages, each attempt slower than the last, until either
+the data corrects or a (small) retry budget runs out and the sector is
+reported uncorrectable.  :class:`EccConfig` captures that budget and its
+latency backoff; :class:`ReliabilityCounters` accumulates what actually
+happened — the numbers SMART-style health reporting and the fault sweep
+read back out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class EccConfig:
+    """The firmware's read-retry budget and its cost model.
+
+    Attributes:
+        max_read_retries: Retries allowed after the initial read before a
+            page is declared uncorrectable (real firmware uses a handful
+            of retry voltage steps).
+        retry_backoff: Latency multiplier per successive retry — retry
+            *i* (1-based) costs ``page_read * retry_backoff ** (i - 1)``,
+            modelling the increasingly exotic sensing modes firmware
+            falls back to.
+    """
+
+    max_read_retries: int = 4
+    retry_backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_read_retries < 0:
+            raise ConfigError(
+                f"max_read_retries must be >= 0, got {self.max_read_retries}"
+            )
+        if self.retry_backoff < 1.0:
+            raise ConfigError(
+                f"retry_backoff must be >= 1, got {self.retry_backoff}"
+            )
+
+
+@dataclass
+class ReliabilityCounters:
+    """Media-fault outcomes accumulated by one NAND array.
+
+    These count *outcomes* (what the firmware experienced), while
+    :class:`~repro.faults.injector.FaultStats` counts *injections* (what
+    the fault model fired); the two reconcile in tests.
+    """
+
+    #: Reads that returned raw bit errors but were corrected (in-line or
+    #: after retries).
+    corrected_reads: int = 0
+    #: Individual ECC read retries performed.
+    read_retries: int = 0
+    #: Reads abandoned after the retry budget — data lost.
+    uncorrectable_reads: int = 0
+    #: Page programs that failed verify (pages burned).
+    program_fails: int = 0
+    #: Block erases that failed verify (blocks worn out).
+    erase_fails: int = 0
+
+    def snapshot(self) -> "ReliabilityCounters":
+        """An independent copy of the current counters."""
+        import dataclasses
+
+        return dataclasses.replace(self)

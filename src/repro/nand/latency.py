@@ -31,3 +31,13 @@ class NandLatencies:
     def copy_page(self) -> float:
         """Latency of one GC page copy (read + program)."""
         return self.page_read + self.page_program
+
+    def read_retry(self, attempt: int, backoff: float = 2.0) -> float:
+        """Latency of ECC read-retry ``attempt`` (1-based) with ``backoff``.
+
+        Each retry re-senses the page with a slower, more conservative
+        mode: retry *i* costs ``page_read * backoff ** (i - 1)``.
+        """
+        if attempt < 1:
+            raise ConfigError(f"retry attempt must be >= 1, got {attempt}")
+        return self.page_read * backoff ** (attempt - 1)

@@ -7,9 +7,11 @@ from typing import Optional
 
 from repro.core.config import DetectorConfig
 from repro.errors import ConfigError
+from repro.faults.config import FaultConfig
 from repro.ftl.gc import GcPolicy
 from repro.ftl.scrub import ScrubConfig
 from repro.ftl.wearlevel import WearLevelConfig
+from repro.nand.ecc import EccConfig
 from repro.nand.geometry import NandGeometry
 from repro.nand.latency import NandLatencies
 
@@ -48,6 +50,12 @@ class SSDConfig:
     scrub: Optional["ScrubConfig"] = None
     #: Seconds between background maintenance sweeps (scrub checks).
     maintenance_interval: float = 5.0
+    #: Enable deterministic media-fault injection (None = off; the
+    #: default device takes exactly the pre-fault code paths).
+    faults: Optional["FaultConfig"] = None
+    #: ECC read-retry budget and backoff (only consulted when faults are
+    #: enabled — a healthy array never needs a retry).
+    ecc: EccConfig = field(default_factory=EccConfig)
 
     def __post_init__(self) -> None:
         if self.retention <= 0:

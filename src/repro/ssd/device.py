@@ -22,7 +22,14 @@ from repro.blockdev.request import IOMode, IORequest
 from repro.clock import SimClock
 from repro.core.detector import DetectionEvent, RansomwareDetector
 from repro.core.id3 import DecisionTree
-from repro.errors import DeviceReadOnlyError, RecoveryError, UnmappedReadError
+from repro.errors import (
+    DeviceReadOnlyError,
+    ExhaustedRetriesError,
+    RecoveryError,
+    UncorrectableReadError,
+    UnmappedReadError,
+)
+from repro.faults.injector import FaultInjector
 from repro.ftl.insider import InsiderFTL, RollbackReport
 from repro.nand.array import NandArray
 from repro.obs import Observability
@@ -38,6 +45,14 @@ class DeviceStats:
     writes: int = 0
     dropped_writes: int = 0
     unmapped_reads: int = 0
+    #: Host reads whose page stayed corrupt after the ECC retry budget
+    #: (served as zeroes — data lost to the media, not to recovery).
+    uncorrectable_reads: int = 0
+    #: Host writes abandoned because every remap target also failed
+    #: program verify (the device locks down when this fires).
+    failed_writes: int = 0
+    #: Power cycles survived (host-invoked or injected).
+    power_losses: int = 0
 
 
 class SimulatedSSD:
@@ -68,7 +83,17 @@ class SimulatedSSD:
         self.clock = SimClock()
         self.obs = obs if obs is not None else Observability.off()
         self.obs.bind_clock(self.clock)
-        self.nand = NandArray(self.config.geometry, self.config.latencies)
+        #: Deterministic media-fault source (None on a healthy device).
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(self.config.faults)
+            if self.config.faults is not None else None
+        )
+        self.nand = NandArray(
+            self.config.geometry,
+            self.config.latencies,
+            faults=self.fault_injector,
+            ecc=self.config.ecc,
+        )
         self.ftl = InsiderFTL(
             self.nand,
             op_ratio=self.config.op_ratio,
@@ -113,6 +138,9 @@ class SimulatedSSD:
                 "Writes dropped by the read-only lockdown.",
             )
         self.read_only = False
+        #: Sticky media-health flag: set when ECC or remap retries were
+        #: exhausted; cleared only by a power cycle (fresh firmware boot).
+        self.degraded = False
         self.stats = DeviceStats()
         self.rollback_reports: List[RollbackReport] = []
         self.wear_leveler = None
@@ -149,6 +177,7 @@ class SimulatedSSD:
     def submit(self, request: IORequest) -> None:
         """Execute one (possibly multi-block) request from a trace."""
         self.clock.advance_to(request.time)
+        self._maybe_power_loss()
         if not self.obs.enabled:
             self._execute(request)
             return
@@ -221,6 +250,7 @@ class SimulatedSSD:
         idle time is when firmware does its housekeeping.
         """
         self.clock.advance_to(now)
+        self._maybe_power_loss()
         if self.detector is not None:
             self.detector.tick(now)
         self._maybe_maintain()
@@ -270,8 +300,11 @@ class SimulatedSSD:
         DRAM contents vanish; the FTL rebuilds its mapping — and the
         recovery queue — from the NAND array's out-of-band records, and
         the detector restarts cold (its counting table held at most one
-        window of transient state anyway).
+        window of transient state anyway).  Grown and factory bad blocks
+        stay retired (their flags live in the NAND array), and the
+        degraded latch clears — a fresh boot re-assesses media health.
         """
+        self.stats.power_losses += 1
         self.ftl = InsiderFTL.rebuild(
             self.nand,
             op_ratio=self.config.op_ratio,
@@ -291,6 +324,7 @@ class SimulatedSSD:
         if self.detector is not None:
             self.detector.reset()
         self.read_only = False
+        self.degraded = False
 
     def dismiss_alarm(self) -> None:
         """Host says "false alarm": unlock writes, keep the data as is."""
@@ -339,6 +373,18 @@ class SimulatedSSD:
         metrics.gauge(
             "ssd_recoveries", "Mapping-table rollbacks completed."
         ).set(len(self.rollback_reports))
+        reliability = self.nand.reliability
+        metrics.gauge(
+            "nand_corrected_reads",
+            "Reads with raw bit errors corrected by ECC (in-line or retry).",
+        ).set(reliability.corrected_reads)
+        metrics.gauge(
+            "nand_uncorrectable_reads",
+            "Reads abandoned after the ECC retry budget (data lost).",
+        ).set(reliability.uncorrectable_reads)
+        metrics.gauge(
+            "ftl_bad_blocks", "Blocks retired as bad (factory + grown)."
+        ).set(self.ftl.allocator.retired_blocks)
         if self.detector is not None:
             metrics.gauge(
                 "detector_score",
@@ -350,7 +396,44 @@ class SimulatedSSD:
     def _stamp(self, now: Optional[float]) -> float:
         if now is not None:
             self.clock.advance_to(now)
+        self._maybe_power_loss()
         return self.clock.now
+
+    def _maybe_power_loss(self) -> None:
+        """Fire the scheduled whole-device power loss once its time comes.
+
+        The cut lands on a request boundary (page programs are atomic in
+        this simulator); everything DRAM-resident — mapping table,
+        recovery queue, detector state — vanishes and is rebuilt by
+        :meth:`power_cycle`.
+        """
+        if (self.fault_injector is not None
+                and self.fault_injector.power_loss_due(self.clock.now)):
+            if self.obs.enabled:
+                self.obs.tracer.instant(
+                    "ssd.power_loss", category="reliability",
+                    sim_time=self.clock.now,
+                )
+            self.power_cycle()
+
+    def _media_degrade(self, reason: str, lockdown: bool, **details) -> None:
+        """Graceful degradation: raise the media alarm, optionally lock down.
+
+        Write-path exhaustion locks the device read-only (the media can
+        no longer absorb writes reliably; freezing preserves the mapping
+        and the recovery queue).  Read-path exhaustion alarms without
+        lockdown — the lost page is already lost, and refusing new writes
+        would not bring it back.
+        """
+        self.degraded = True
+        if lockdown:
+            self.read_only = True
+        if self.obs.enabled:
+            self.obs.tracer.instant(
+                "ssd.media_alarm", category="reliability",
+                sim_time=self.clock.now, reason=reason,
+                lockdown=lockdown, **details,
+            )
 
     def _read_block(self, lba: int) -> bytes:
         self.stats.reads += 1
@@ -358,6 +441,11 @@ class SimulatedSSD:
             info = self.ftl.read(lba, self.clock.now)
         except UnmappedReadError:
             self.stats.unmapped_reads += 1
+            return bytes(BLOCK_SIZE)
+        except UncorrectableReadError as exc:
+            self.stats.uncorrectable_reads += 1
+            self._media_degrade("uncorrectable_read", lockdown=False,
+                                lba=lba, retries=exc.retries)
             return bytes(BLOCK_SIZE)
         if info.payload is None:
             return bytes(BLOCK_SIZE)
@@ -377,4 +465,9 @@ class SimulatedSSD:
                                                  "observe_write"):
             self.detector.tree.observe_write(payload)
         self.stats.writes += 1
-        self.ftl.write(lba, self.clock.now, payload)
+        try:
+            self.ftl.write(lba, self.clock.now, payload)
+        except ExhaustedRetriesError:
+            self.stats.failed_writes += 1
+            self._media_degrade("program_retries_exhausted", lockdown=True,
+                                lba=lba)

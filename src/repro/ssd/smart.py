@@ -34,6 +34,14 @@ ATTR_ERASES = 0xF6
 ATTR_WEAR_SPREAD = 0xF7
 ATTR_DROPPED_WRITES = 0xF8
 ATTR_RECOVERIES = 0xF9
+#: Reliability attributes (the classic SMART media-health set, in the
+#: same vendor-specific range).
+ATTR_BAD_BLOCKS = 0xFA
+ATTR_CORRECTED_READS = 0xFB
+ATTR_UNCORRECTABLE_READS = 0xFC
+ATTR_PROGRAM_FAILS = 0xFD
+ATTR_POWER_LOSSES = 0xFE
+ATTR_DEGRADED = 0xFF
 
 
 def smart_report(device: SimulatedSSD, metrics: bool = False) -> Dict:
@@ -57,6 +65,12 @@ def smart_report(device: SimulatedSSD, metrics: bool = False) -> Dict:
         ATTR_WEAR_SPREAD: wear.spread,
         ATTR_DROPPED_WRITES: device.stats.dropped_writes,
         ATTR_RECOVERIES: len(device.rollback_reports),
+        ATTR_BAD_BLOCKS: device.ftl.allocator.retired_blocks,
+        ATTR_CORRECTED_READS: device.nand.reliability.corrected_reads,
+        ATTR_UNCORRECTABLE_READS: device.nand.reliability.uncorrectable_reads,
+        ATTR_PROGRAM_FAILS: device.nand.reliability.program_fails,
+        ATTR_POWER_LOSSES: device.stats.power_losses,
+        ATTR_DEGRADED: int(device.degraded),
     }
     if metrics and device.obs.enabled:
         device.refresh_obs_metrics()

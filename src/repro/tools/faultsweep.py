@@ -1,0 +1,88 @@
+"""Fault-sweep CLI: measure recovery completeness under injected NAND faults.
+
+Runs :func:`repro.faults.sweep.run_sweep` — populate, attack, power-cut,
+alarm, rollback, full bit-exact audit, at each fault rate — and writes the
+results document consumed by ``docs/faults.md`` and the CI smoke job::
+
+    python -m repro.tools.faultsweep                 # full sweep (small array)
+    python -m repro.tools.faultsweep --smoke         # CI-sized, seconds
+    python -m repro.tools.faultsweep --rates 0,1e-3  # custom rate list
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import List, Optional
+
+from repro.faults.sweep import run_sweep
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """CLI argument parser (separate so tests can introspect defaults)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.faultsweep",
+        description=(
+            "Sweep media-fault rates against the defense pipeline and emit "
+            "FAULTS_sweep.json."
+        ),
+    )
+    parser.add_argument("--rates", default=None,
+                        help="comma list of raw fault rates (default: built-in sweep)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="trial seed (payloads, attack stream, injector)")
+    parser.add_argument("--sample", default="wannacry",
+                        help="ransomware profile to attack with")
+    parser.add_argument("--no-power-loss", action="store_true",
+                        help="skip the mid-attack power cut")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: tiny geometry, three rates, seconds to run")
+    parser.add_argument("--out", default="results/FAULTS_sweep.json",
+                        help="output JSON path")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the sweep and write the JSON report."""
+    args = build_parser().parse_args(argv)
+    rates = None
+    if args.rates is not None:
+        rates = [float(token) for token in args.rates.split(",") if token.strip()]
+    print("fault sweep: populate / attack / power-cut / rollback / audit ...",
+          flush=True)
+    report = run_sweep(
+        rates=rates,
+        seed=args.seed,
+        sample=args.sample,
+        smoke=args.smoke,
+        power_loss=not args.no_power_loss,
+    )
+    report["schema"] = "ssd-insider.faults_sweep/v1"
+    for trial in report["trials"]:
+        print(
+            f"  rate {trial['fault_rate']:g}: "
+            f"alarm={trial['alarm_raised']} "
+            f"latency={trial['detection_latency']} "
+            f"power_loss={trial['power_loss_fired']} "
+            f"lost(media/rollback)={trial['lost_lbas_media']}"
+            f"/{trial['lost_lbas_rollback']} "
+            f"retired={trial['retired_blocks']}",
+            flush=True,
+        )
+    summary = report["summary"]
+    print(
+        f"summary: rollback loss zero when alarmed = "
+        f"{summary['rollback_loss_zero_when_alarmed']}, "
+        f"media boundary = {summary['media_loss_boundary_rate']}",
+        flush=True,
+    )
+    out_path = Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
