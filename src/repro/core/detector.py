@@ -8,8 +8,9 @@ alarm once the score reaches the threshold.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Deque, List, Optional, Union
 
 from repro.blockdev.request import IORequest
 from repro.core.config import DetectorConfig
@@ -44,9 +45,17 @@ class RansomwareDetector:
             threshold.
         keep_history: Record every :class:`DetectionEvent` in
             :attr:`events` (on by default; disable for long streams).
+        max_history: With ``keep_history``, bound :attr:`events` to the
+            most recent ``max_history`` entries (drop-oldest ring;
+            :attr:`dropped_events` counts evictions) so always-on history
+            in long sweeps cannot grow without bound.
         obs: Observability bundle; when enabled, every closed slice emits
             a ``detector.slice`` instant (feature values + verdict +
-            score) and the verdict/score metrics update.
+            score) and the verdict/score metrics update.  When the bundle
+            carries a :class:`~repro.obs.flightrec.FlightRecorder`, every
+            closed slice is also attributed (exact ID3 tree path +
+            margins) into its ring — recording only, never behaviour:
+            the event stream stays bit-identical to an un-observed run.
     """
 
     def __init__(
@@ -55,6 +64,7 @@ class RansomwareDetector:
         config: Optional[DetectorConfig] = None,
         on_alarm: Optional[Callable[[DetectionEvent], None]] = None,
         keep_history: bool = True,
+        max_history: Optional[int] = None,
         obs: Optional[Observability] = None,
     ) -> None:
         self.config = config or DetectorConfig()
@@ -83,10 +93,18 @@ class RansomwareDetector:
             self._m_alarms = metrics.counter(
                 "detector_alarms_total", "Alarms raised."
             )
+        self._fr = self.obs.flightrec
+        if self._fr is not None:
+            # The recorder classifies near-misses against this detector's
+            # own operating point, not its construction-time default.
+            self._fr.attribution.threshold = self.config.threshold
         self.table = CountingTable()
         self.window = SlidingWindow(self.config.window_slices)
         self.scores = ScoreTracker(self.config.window_slices)
-        self.events: List[DetectionEvent] = []
+        self.events: Union[List[DetectionEvent], Deque[DetectionEvent]] = (
+            deque(maxlen=max_history) if max_history is not None else []
+        )
+        self._events_recorded = 0
         self.alarm_event: Optional[DetectionEvent] = None
         self._current = SliceStats(index=0)
         #: Idle slices skipped by the fast-forward path (state-identical
@@ -104,6 +122,11 @@ class RansomwareDetector:
     def score(self) -> int:
         """Current window score."""
         return self.scores.score
+
+    @property
+    def dropped_events(self) -> int:
+        """History entries evicted by the ``max_history`` ring so far."""
+        return max(0, self._events_recorded - len(self.events))
 
     def observe(self, request: IORequest) -> None:
         """Ingest one request header (multi-block requests are split).
@@ -204,6 +227,14 @@ class RansomwareDetector:
                 )
                 for index in range(current.index, target_slice)
             )
+            self._events_recorded += skipped
+        if self._fr is not None:
+            self._fr.attribution.record_repeat(
+                self.tree, features.as_dict(), features.as_tuple(),
+                verdict, score, alarm,
+                first_index=current.index, count=skipped,
+                slice_duration=self.config.slice_duration,
+            )
         self.window.fill_idle(last_index=target_slice - 1)
         self.fast_forwarded_slices += skipped
         if self.obs.enabled:
@@ -236,6 +267,14 @@ class RansomwareDetector:
         )
         if self.keep_history:
             self.events.append(event)
+            self._events_recorded += 1
+        if self._fr is not None:
+            # Attribute before the alarm hook runs: the incident snapshot
+            # cut by the hook must already see the alarming slice's path.
+            self._fr.attribution.record(
+                self.tree, features.as_dict(), features.as_tuple(),
+                event.time, closed.index, verdict, score, alarm,
+            )
         if self.obs.enabled:
             self._m_slices.inc(verdict=verdict)
             self._m_score.set(score)

@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -50,6 +50,57 @@ class TreeNode:
         if self.is_leaf:
             return 1
         return 1 + self.left.node_count() + self.right.node_count()
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One internal-node comparison on a root-to-leaf inference path.
+
+    Attributes:
+        node_id: Stable preorder index of the split node within the tree.
+        feature: Feature index tested at the node.
+        feature_name: Display name of the tested feature.
+        threshold: The node's split threshold.
+        value: The evaluated row's value for the feature.
+        went_left: True when ``value <= threshold`` (the left branch).
+    """
+
+    node_id: int
+    feature: int
+    feature_name: str
+    threshold: float
+    value: float
+    went_left: bool
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready rendering of the step."""
+        return {
+            "node_id": self.node_id,
+            "feature": self.feature,
+            "feature_name": self.feature_name,
+            "threshold": self.threshold,
+            "value": self.value,
+            "branch": "left" if self.went_left else "right",
+        }
+
+
+@dataclass(frozen=True)
+class TreePath:
+    """A fully explained prediction: the exact root-to-leaf path taken."""
+
+    label: int
+    leaf_id: int
+    leaf_samples: int
+    steps: Tuple[PathStep, ...]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready rendering of the whole path."""
+        return {
+            "label": self.label,
+            "leaf_id": self.leaf_id,
+            "leaf_samples": self.leaf_samples,
+            "steps": [step.as_dict() for step in self.steps],
+        }
 
 
 def entropy(labels: np.ndarray) -> float:
@@ -119,6 +170,9 @@ class DecisionTree:
         self.min_gain = min_gain
         self.feature_names = list(feature_names)
         self.root: Optional[TreeNode] = None
+        # id(node) -> stable preorder index, built lazily by explain_one
+        # and discarded whenever the tree's structure changes.
+        self._node_id_cache: Optional[Dict[int, int]] = None
 
     # -- training ---------------------------------------------------------
 
@@ -142,6 +196,7 @@ class DecisionTree:
         if not np.isin(target, (0, 1)).all():
             raise TrainingError("labels must be 0 or 1")
         self.root = self._build(matrix, target, depth=0)
+        self._node_id_cache = None
         return self
 
     def _build(self, matrix: np.ndarray, target: np.ndarray, depth: int) -> TreeNode:
@@ -236,6 +291,7 @@ class DecisionTree:
             raise TrainingError("validation set must not be empty")
         before = self.node_count()
         self._prune_node(self.root, matrix, target)
+        self._node_id_cache = None
         return before - self.node_count()
 
     def _prune_node(self, node: TreeNode, matrix: np.ndarray,
@@ -271,6 +327,56 @@ class DecisionTree:
             else:
                 node = node.right
         return node.label
+
+    def explain_one(self, row: Sequence[float]) -> TreePath:
+        """Classify one feature vector and return the exact path taken.
+
+        The returned :class:`TreePath` lists every internal-node comparison
+        (stable preorder node id, feature, threshold, the row's value, and
+        which branch was chosen) ending at the leaf whose label is the
+        verdict.  By construction the label equals :meth:`predict_one` on
+        the same row — the forensic record *is* the decision, not a
+        post-hoc approximation.
+        """
+        if self.root is None:
+            raise NotFittedError("DecisionTree.fit was never called")
+        node_ids = self._node_ids()
+        node = self.root
+        steps: List[PathStep] = []
+        while not node.is_leaf:
+            value = float(row[node.feature])
+            went_left = value <= node.threshold
+            steps.append(PathStep(
+                node_id=node_ids[id(node)],
+                feature=node.feature,
+                feature_name=self.feature_names[node.feature],
+                threshold=float(node.threshold),
+                value=value,
+                went_left=went_left,
+            ))
+            node = node.left if went_left else node.right
+        return TreePath(
+            label=node.label,
+            leaf_id=node_ids[id(node)],
+            leaf_samples=node.samples,
+            steps=tuple(steps),
+        )
+
+    def _node_ids(self) -> Dict[int, int]:
+        """Map ``id(node)`` to its stable preorder index, cached."""
+        if self._node_id_cache is None:
+            cache: Dict[int, int] = {}
+            stack = [self.root]
+            counter = 0
+            while stack:
+                node = stack.pop()
+                cache[id(node)] = counter
+                counter += 1
+                if not node.is_leaf:
+                    stack.append(node.right)
+                    stack.append(node.left)
+            self._node_id_cache = cache
+        return self._node_id_cache
 
     def predict(self, rows: Sequence[Sequence[float]]) -> List[int]:
         """Classify many feature vectors."""

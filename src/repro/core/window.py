@@ -141,6 +141,24 @@ class SlidingWindow:
         """Slice index of the oldest slice still in the window."""
         return self._slices[0].index if self._slices else None
 
+    def snapshot(self) -> list:
+        """JSON-ready per-slice counters, oldest first (incident bundles).
+
+        Captures exactly what the ring holds at the instant an incident
+        snapshot is cut: the raw counters the six features were computed
+        from, so a bundle can show the window state behind the verdict.
+        """
+        return [
+            {
+                "index": stats.index,
+                "rio": stats.rio,
+                "wio": stats.wio,
+                "owio": stats.owio,
+                "unique_overwritten": len(stats.overwritten_lbas),
+            }
+            for stats in self._slices
+        ]
+
     # -- fast-forward support (detector idle gaps) -----------------------
 
     def is_idle_saturated(self) -> bool:

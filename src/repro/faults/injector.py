@@ -51,6 +51,18 @@ class FaultStats:
         """All per-operation faults injected so far."""
         return self.read_faults + self.program_fails + self.erase_fails
 
+    def as_dict(self) -> dict:
+        """JSON-ready counters (incident bundles, sweep reports)."""
+        return {
+            "read_faults": self.read_faults,
+            "read_faults_transient": self.read_faults_transient,
+            "read_faults_hard": self.read_faults_hard,
+            "program_fails": self.program_fails,
+            "erase_fails": self.erase_fails,
+            "power_losses": self.power_losses,
+            "total_media_faults": self.total_media_faults,
+        }
+
 
 class FaultInjector:
     """Seed-driven fault source consulted on every NAND operation.

@@ -225,6 +225,12 @@ class PageMappedFTL:
                     sim_time=self._last_timestamp, block=global_block,
                     pages_moved=moved,
                 )
+            fr = self.obs.flightrec
+            if fr is not None:
+                fr.record_event(
+                    "block_retired", self._last_timestamp,
+                    block=global_block, pages_moved=moved,
+                )
         finally:
             self._retiring.discard(global_block)
 
@@ -267,6 +273,13 @@ class PageMappedFTL:
                      self.stats.gc_page_copies - before_copies)
             span.set("pinned_copies",
                      self.stats.gc_pinned_copies - before_pinned)
+        fr = self.obs.flightrec
+        if fr is not None and erased:
+            fr.record_event(
+                "gc", self._last_timestamp, erased=erased,
+                page_copies=self.stats.gc_page_copies - before_copies,
+                pinned_copies=self.stats.gc_pinned_copies - before_pinned,
+            )
         return erased
 
     def _collect_garbage(self) -> int:

@@ -125,6 +125,16 @@ class InsiderFTL(PageMappedFTL):
         if self._m_queue_depth is not None:
             self._m_queue_depth.set(len(self.queue))
             self._m_queue_pinned.set(self.queue.pinned_count)
+        fr = self.obs.flightrec
+        if fr is not None:
+            if evicted:
+                # Each early eviction is in-window recovery coverage lost;
+                # the incident report calls these out next to the headroom.
+                fr.record_event(
+                    "queue_evictions", timestamp, entries=len(evicted)
+                )
+            fr.sample_queue(timestamp, len(self.queue),
+                            self.queue.pinned_count)
 
     def _is_pinned(self, ppa: int) -> bool:
         return self.queue.is_pinned(ppa)

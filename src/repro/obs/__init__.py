@@ -1,12 +1,17 @@
 """Unified observability: event tracing + metrics for the simulated firmware.
 
-Three pieces:
+Five pieces:
 
 * :mod:`repro.obs.metrics` — a metrics registry (counters, gauges,
   fixed-bucket histograms) with labeled series and text/JSON renderers;
 * :mod:`repro.obs.tracer` — a structured event tracer recording spans and
   instants on the simulated clock *and* host ``perf_counter`` time, with a
   Chrome-trace-event (Perfetto-compatible) exporter;
+* :mod:`repro.obs.forensics` — decision attribution: per-slice feature
+  vectors, exact ID3 root-to-leaf paths, margins-to-flip, near-misses;
+* :mod:`repro.obs.flightrec` — the always-on flight recorder: bounded
+  ring buffers snapshotted into self-contained incident bundles when an
+  alarm fires, the device locks down, or the degraded latch sets;
 * :class:`Observability` — the bundle threaded through the data path
   (:class:`~repro.ssd.device.SimulatedSSD`, the detector, the FTLs).
 
@@ -30,6 +35,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.clock import SimClock
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -45,14 +51,16 @@ from repro.obs.tracer import (
 
 
 class Observability:
-    """The tracer + metrics bundle instrumented components share.
+    """The tracer + metrics + flight-recorder bundle components share.
 
     Args:
         tracer: A recording tracer; defaults to the no-op
             :data:`~repro.obs.tracer.NULL_TRACER`.
         metrics: A metrics registry; created on demand when omitted.
+        flightrec: An optional :class:`~repro.obs.flightrec.FlightRecorder`
+            capturing the last-N-seconds black box for incident bundles.
 
-    The bundle counts as :attr:`enabled` when either piece was supplied
+    The bundle counts as :attr:`enabled` when any piece was supplied
     explicitly — passing only a registry gives metrics without trace
     events, and vice versa.
     """
@@ -61,10 +69,15 @@ class Observability:
         self,
         tracer: Optional[NullTracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        flightrec: Optional[FlightRecorder] = None,
     ) -> None:
-        self.enabled = tracer is not None or metrics is not None
+        self.enabled = (
+            tracer is not None or metrics is not None
+            or flightrec is not None
+        )
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.flightrec = flightrec
 
     @classmethod
     def off(cls) -> "Observability":
@@ -76,11 +89,17 @@ class Observability:
         cls,
         clock: Optional[SimClock] = None,
         max_events: Optional[int] = None,
+        flight: Optional[FlightRecorder] = None,
     ) -> "Observability":
-        """A live bundle: recording tracer + fresh metrics registry."""
+        """A live bundle: recording tracer + fresh metrics registry.
+
+        Pass ``flight=FlightRecorder(...)`` to also arm the black-box
+        flight recorder (incident bundles on alarm/lockdown/degrade).
+        """
         return cls(
             tracer=EventTracer(clock=clock, max_events=max_events),
             metrics=MetricsRegistry(),
+            flightrec=flight,
         )
 
     def bind_clock(self, clock: SimClock) -> None:
@@ -92,6 +111,7 @@ class Observability:
 __all__ = [
     "Counter",
     "EventTracer",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

@@ -1,0 +1,237 @@
+"""The always-on flight recorder: last-N-seconds state, snapshot on incident.
+
+Real firmware cannot afford an unbounded trace, but it *can* afford a few
+hundred kilobytes of DRAM ring buffers — the same budget discipline as
+the paper's Table III sizing.  The :class:`FlightRecorder` keeps four
+rings under one fixed byte budget:
+
+* **request headers** — the recent host I/O stream (time, LBA, length,
+  opcode, workload source);
+* **slice attributions** — the recent closed slices, each with its
+  six-feature vector and exact ID3 tree path
+  (:class:`~repro.obs.forensics.AttributionRecorder`);
+* **recovery-queue samples** — throttled (time, depth, pinned) readings;
+* **firmware events** — GC rounds, queue evictions, media faults, power
+  losses.
+
+When an alarm fires, the device locks down, or the degraded latch sets,
+:meth:`FlightRecorder.snapshot` freezes everything into a self-contained
+**incident bundle** (a JSON-ready dict) that
+``python -m repro.tools.forensics`` renders as a human-readable incident
+report.  Memory is O(ring capacity) regardless of run length; recording
+never alters detector or FTL behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.blockdev.request import IORequest
+from repro.obs.forensics import AttributionRecorder
+
+#: Bundle schema identifier stamped on every snapshot.
+INCIDENT_SCHEMA = "ssd-insider.incident/v1"
+
+#: Default total DRAM budget for all rings, in bytes (Table III spirit:
+#: a fixed, small fraction of firmware DRAM).
+DEFAULT_BUDGET_BYTES = 256 * 1024
+
+#: Default look-back window applied when a snapshot is cut, in seconds.
+DEFAULT_WINDOW_SECONDS = 10.0
+
+#: Accounting sizes of one ring entry, in bytes, under firmware-style
+#: packing (they size the rings; the Python objects themselves are
+#: larger, as ``repro.core.memory`` discusses for the counting table).
+REQUEST_ENTRY_BYTES = 24    # f64 time + u48 lba + u16 length + flags + src id
+SLICE_ENTRY_BYTES = 96      # six f32 features + path refs + verdict/score
+QUEUE_SAMPLE_BYTES = 16     # f64 time + u32 depth + u32 pinned
+EVENT_ENTRY_BYTES = 48      # f64 time + kind id + packed details
+
+#: Budget split across the rings (fractions of the total budget).
+BUDGET_SHARES = {
+    "requests": 0.50,
+    "slices": 0.25,
+    "queue_samples": 0.125,
+    "events": 0.125,
+}
+
+
+class FlightRecorder:
+    """Bounded black-box recorder for the simulated firmware.
+
+    Args:
+        window_seconds: Look-back horizon a snapshot keeps (ring entries
+            older than ``trigger_time - window_seconds`` are cut from the
+            bundle; the rings themselves are entry-capped).
+        budget_bytes: Total memory budget; ring capacities are derived
+            from it via the per-entry accounting sizes above.
+        queue_sample_interval: Minimum simulated seconds between two
+            recovery-queue occupancy samples.
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        budget_bytes: int = DEFAULT_BUDGET_BYTES,
+        queue_sample_interval: float = 0.25,
+    ) -> None:
+        self.window_seconds = window_seconds
+        self.budget_bytes = budget_bytes
+        self.queue_sample_interval = queue_sample_interval
+        self.request_capacity = max(
+            16, int(budget_bytes * BUDGET_SHARES["requests"])
+            // REQUEST_ENTRY_BYTES
+        )
+        slice_capacity = max(
+            8, int(budget_bytes * BUDGET_SHARES["slices"]) // SLICE_ENTRY_BYTES
+        )
+        self.queue_sample_capacity = max(
+            8, int(budget_bytes * BUDGET_SHARES["queue_samples"])
+            // QUEUE_SAMPLE_BYTES
+        )
+        self.event_capacity = max(
+            8, int(budget_bytes * BUDGET_SHARES["events"]) // EVENT_ENTRY_BYTES
+        )
+        self.attribution = AttributionRecorder(capacity=slice_capacity)
+        #: (time, lba, length, mode, source) header tuples.
+        self.requests: Deque[Tuple[float, int, int, str, str]] = deque(
+            maxlen=self.request_capacity
+        )
+        #: (time, depth, pinned) recovery-queue occupancy samples.
+        self.queue_samples: Deque[Tuple[float, int, int]] = deque(
+            maxlen=self.queue_sample_capacity
+        )
+        #: Firmware event dicts (kind, time, details).
+        self.events: Deque[Dict[str, object]] = deque(
+            maxlen=self.event_capacity
+        )
+        #: Run context stamped into every snapshot (scenario, onset...).
+        self.context: Dict[str, object] = {}
+        self.requests_recorded = 0
+        self.queue_samples_recorded = 0
+        self.events_recorded = 0
+        self.snapshots_taken = 0
+        self._last_queue_sample = float("-inf")
+
+    # -- recording ---------------------------------------------------------
+
+    def set_context(self, **context: object) -> None:
+        """Merge run context (sample name, attack onset...) into snapshots."""
+        self.context.update(context)
+
+    def record_request(self, request: IORequest) -> None:
+        """Fold one host request header into the request ring."""
+        self.requests.append((
+            request.time, request.lba, request.length,
+            request.mode.value, request.source or "",
+        ))
+        self.requests_recorded += 1
+
+    def sample_queue(self, now: float, depth: int, pinned: int) -> None:
+        """Record a recovery-queue occupancy sample (throttled)."""
+        if now - self._last_queue_sample < self.queue_sample_interval:
+            return
+        self._last_queue_sample = now
+        self.queue_samples.append((now, depth, pinned))
+        self.queue_samples_recorded += 1
+
+    def record_event(self, kind: str, time: float, **details: object) -> None:
+        """Record one firmware event (GC round, fault, power loss...)."""
+        self.events.append({"kind": kind, "time": time, **details})
+        self.events_recorded += 1
+
+    # -- introspection -----------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        """Current footprint under the firmware accounting sizes.
+
+        Bounded by :attr:`budget_bytes`'s ring shares no matter how long
+        the run: every ring is a fixed-capacity deque.
+        """
+        return (
+            len(self.requests) * REQUEST_ENTRY_BYTES
+            + len(self.attribution.slices) * SLICE_ENTRY_BYTES
+            + len(self.queue_samples) * QUEUE_SAMPLE_BYTES
+            + len(self.events) * EVENT_ENTRY_BYTES
+        )
+
+    def capacities(self) -> Dict[str, int]:
+        """Entry capacities of the four rings."""
+        return {
+            "requests": self.request_capacity,
+            "slices": self.attribution.capacity,
+            "queue_samples": self.queue_sample_capacity,
+            "events": self.event_capacity,
+        }
+
+    # -- snapshotting ------------------------------------------------------
+
+    def snapshot(
+        self,
+        trigger: str,
+        sim_time: float,
+        details: Optional[Dict[str, object]] = None,
+        extra: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Freeze the rings into a self-contained incident bundle.
+
+        Args:
+            trigger: Why the snapshot was cut (``alarm``, ``media_alarm``,
+                ``manual``...).
+            sim_time: Simulated time of the trigger; the look-back window
+                is measured from it.
+            details: Trigger-specific payload (slice index, score...).
+            extra: Additional top-level sections supplied by the caller
+                (device state, detector config, recovery-queue state...).
+        """
+        since = sim_time - self.window_seconds
+        self.snapshots_taken += 1
+        bundle: Dict[str, object] = {
+            "schema": INCIDENT_SCHEMA,
+            "trigger": {
+                "reason": trigger,
+                "sim_time": sim_time,
+                **(details or {}),
+            },
+            "context": dict(self.context),
+            "window_seconds": self.window_seconds,
+            "memory": {
+                "budget_bytes": self.budget_bytes,
+                "used_bytes": self.memory_bytes(),
+                "capacities": self.capacities(),
+                "recorded": {
+                    "requests": self.requests_recorded,
+                    "slices": self.attribution.recorded,
+                    "queue_samples": self.queue_samples_recorded,
+                    "events": self.events_recorded,
+                },
+            },
+            "requests": [
+                {"time": time, "lba": lba, "length": length,
+                 "mode": mode, "source": source}
+                for time, lba, length, mode, source in self.requests
+                if time >= since
+            ],
+            "attribution": self.attribution.snapshot(since_time=since),
+            "queue_samples": [
+                {"time": time, "depth": depth, "pinned": pinned}
+                for time, depth, pinned in self.queue_samples
+                if time >= since
+            ],
+            "events": [
+                dict(event) for event in self.events
+                if float(event["time"]) >= since  # type: ignore[arg-type]
+            ],
+        }
+        if extra:
+            bundle.update(extra)
+        return bundle
+
+
+__all__: List[str] = [
+    "DEFAULT_BUDGET_BYTES",
+    "DEFAULT_WINDOW_SECONDS",
+    "FlightRecorder",
+    "INCIDENT_SCHEMA",
+]

@@ -17,9 +17,10 @@ simulated timestamp (``sim_time_s``).
 from __future__ import annotations
 
 import json
+from collections import deque
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Optional, TextIO, Union
+from typing import Deque, Dict, List, Optional, TextIO, Union
 
 from repro.clock import SimClock
 
@@ -186,17 +187,30 @@ class EventTracer:
         max_events: Optional hard cap; once reached, further events are
             dropped (and :attr:`dropped` counts them) instead of growing
             without bound on very long runs.
+        drop_oldest: With ``max_events``, switch the cap from
+            drop-*newest* (record the run's start, then go deaf) to a
+            ring buffer that keeps the most recent ``max_events`` events
+            (always-on tracing for long fault sweeps); evictions still
+            count into :attr:`dropped`.
     """
 
     enabled = True
 
     def __init__(self, clock: Optional[SimClock] = None,
-                 max_events: Optional[int] = None) -> None:
+                 max_events: Optional[int] = None,
+                 drop_oldest: bool = False) -> None:
         self.clock = clock
         self.max_events = max_events
+        self.drop_oldest = drop_oldest
         self.epoch = perf_counter()
-        self.events: List[TraceEvent] = []
+        #: Recorded events, oldest first (a deque in ring mode).
+        self.events: Union[List[TraceEvent], Deque[TraceEvent]] = (
+            deque() if drop_oldest else []
+        )
         self.dropped = 0
+        # name -> events with that name, maintained by _record so find()
+        # is O(matches) instead of a scan over the whole trace.
+        self._by_name: Dict[str, Deque[TraceEvent]] = {}
 
     def bind_clock(self, clock: SimClock) -> None:
         """Attach (or replace) the simulated clock used for timestamps."""
@@ -206,10 +220,19 @@ class EventTracer:
         return self.clock.now if self.clock is not None else None
 
     def _record(self, event: TraceEvent) -> None:
-        if self.max_events is not None and len(self.events) >= self.max_events:
+        cap = self.max_events
+        if cap is not None and len(self.events) >= cap:
+            if not self.drop_oldest or cap == 0:
+                self.dropped += 1
+                return
+            oldest = self.events.popleft()  # type: ignore[union-attr]
             self.dropped += 1
-            return
+            index = self._by_name[oldest.name]
+            index.popleft()
+            if not index:
+                del self._by_name[oldest.name]
         self.events.append(event)
+        self._by_name.setdefault(event.name, deque()).append(event)
 
     # -- recording interface ----------------------------------------------
 
@@ -244,8 +267,13 @@ class EventTracer:
     # -- introspection & export -------------------------------------------
 
     def find(self, name: str) -> List[TraceEvent]:
-        """Every recorded event with the given name, in record order."""
-        return [event for event in self.events if event.name == name]
+        """Every recorded event with the given name, in record order.
+
+        Served from the name index maintained by ``_record`` — O(matches),
+        not O(trace) — and identical to a full scan (asserted by
+        ``tests/test_obs_tracer.py``).
+        """
+        return list(self._by_name.get(name, ()))
 
     def to_chrome_trace(self) -> Dict[str, object]:
         """The full trace as a Chrome trace-event JSON document."""

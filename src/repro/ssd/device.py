@@ -16,13 +16,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.blockdev.request import IOMode, IORequest
 from repro.clock import SimClock
 from repro.core.detector import DetectionEvent, RansomwareDetector
 from repro.core.id3 import DecisionTree
 from repro.errors import (
+    ConfigError,
     DeviceReadOnlyError,
     ExhaustedRetriesError,
     RecoveryError,
@@ -83,6 +84,12 @@ class SimulatedSSD:
         self.clock = SimClock()
         self.obs = obs if obs is not None else Observability.off()
         self.obs.bind_clock(self.clock)
+        #: The black-box flight recorder, when the bundle carries one.
+        self.fr = self.obs.flightrec
+        #: Incident bundles cut so far (alarm, media alarm, manual), in
+        #: trigger order; each is a self-contained JSON-ready dict that
+        #: ``python -m repro.tools.forensics`` renders as a report.
+        self.incidents: List[Dict[str, object]] = []
         #: Deterministic media-fault source (None on a healthy device).
         self.fault_injector: Optional[FaultInjector] = (
             FaultInjector(self.config.faults)
@@ -203,6 +210,8 @@ class SimulatedSSD:
     def _execute(self, request: IORequest) -> None:
         if self.detector is not None:
             self.detector.observe(request)
+        if self.fr is not None:
+            self._flight_note(request)
         for lba in request.lbas():
             if request.mode is IOMode.READ:
                 self._read_block(lba)
@@ -215,6 +224,8 @@ class SimulatedSSD:
         request = IORequest(time=timestamp, lba=lba, mode=IOMode.READ)
         if self.detector is not None:
             self.detector.observe(request)
+        if self.fr is not None:
+            self._flight_note(request)
         if not self.obs.enabled:
             return self._read_block(lba)
         return self._observed(request, lambda: self._read_block(lba))
@@ -226,6 +237,8 @@ class SimulatedSSD:
         request = IORequest(time=timestamp, lba=lba, mode=IOMode.WRITE)
         if self.detector is not None:
             self.detector.observe(request)
+        if self.fr is not None:
+            self._flight_note(request)
         if not self.obs.enabled:
             self._write_block(lba, payload)
             return
@@ -275,6 +288,11 @@ class SimulatedSSD:
         """
         if self.detector is not None and not self.detector.alarm_raised:
             raise RecoveryError("no alarm is pending; nothing to recover from")
+        # Freeze the queue occupancy the rollback is about to drain — the
+        # incident bundle reports the headroom the recovery actually had.
+        queue_at_rollback = (
+            self._queue_state() if self.fr is not None else None
+        )
         if not self.obs.enabled:
             report = self.ftl.rollback(self.clock.now)
         else:
@@ -287,6 +305,26 @@ class SimulatedSSD:
                 span.set("lbas_restored", report.lbas_restored)
                 span.set("lbas_unmapped", report.lbas_unmapped)
         self.rollback_reports.append(report)
+        if self.fr is not None:
+            self.fr.record_event(
+                "rollback", self.clock.now,
+                entries_scanned=report.entries_scanned,
+                entries_applied=report.entries_applied,
+                lbas_restored=report.lbas_restored,
+                lbas_unmapped=report.lbas_unmapped,
+            )
+            if self.incidents:
+                # Annotate the incident that triggered this recovery with
+                # what the rollback did and the queue state it drained.
+                self.incidents[-1]["rollback"] = {
+                    "time": self.clock.now,
+                    "queue_at_rollback": queue_at_rollback,
+                    "entries_scanned": report.entries_scanned,
+                    "entries_applied": report.entries_applied,
+                    "lbas_restored": report.lbas_restored,
+                    "lbas_unmapped": report.lbas_unmapped,
+                    "mapping_updates": report.mapping_updates,
+                }
         self.read_only = False
         if self.detector is not None:
             self.detector.reset()
@@ -340,6 +378,18 @@ class SimulatedSSD:
                 sim_time=event.time, slice_index=event.slice_index,
                 score=event.score,
             )
+        if self.fr is not None:
+            # The detector attributed the alarming slice before invoking
+            # this hook, so the bundle's attribution ring already ends on
+            # the root-to-leaf path that raised the score past threshold.
+            self._cut_incident(
+                "alarm", event.time,
+                details={
+                    "slice_index": event.slice_index,
+                    "score": event.score,
+                    "threshold": self.detector.config.threshold,
+                },
+            )
         if self._host_alarm_callback is not None:
             self._host_alarm_callback(event)
 
@@ -391,6 +441,103 @@ class SimulatedSSD:
                 "Current sliding-window score (0..window size).",
             ).set(self.detector.score)
 
+    # -- flight recorder & incident bundles ---------------------------------
+
+    def snapshot_incident(self, reason: str = "manual") -> Dict[str, object]:
+        """Cut an incident bundle on demand (post-mortem of a live run).
+
+        The automatic triggers are the alarm, a media alarm, and the
+        degraded latch; this is the escape hatch for "the run looks wrong,
+        freeze the black box now".  Requires an armed flight recorder.
+        """
+        if self.fr is None:
+            raise ConfigError(
+                "no flight recorder armed; build the device with "
+                "Observability.on(flight=FlightRecorder(...))"
+            )
+        return self._cut_incident(reason, self.clock.now)
+
+    def _flight_note(self, request: IORequest) -> None:
+        """Fold one host request into the flight recorder's rings."""
+        self.fr.record_request(request)
+        self.fr.sample_queue(
+            request.time, len(self.ftl.queue), self.ftl.pinned_pages()
+        )
+
+    def _cut_incident(
+        self,
+        trigger: str,
+        sim_time: float,
+        details: Optional[Dict[str, object]] = None,
+    ) -> Dict[str, object]:
+        """Snapshot the flight recorder + live device state into a bundle."""
+        bundle = self.fr.snapshot(
+            trigger, sim_time, details=details, extra=self._incident_extra()
+        )
+        self.incidents.append(bundle)
+        if self.obs.enabled:
+            self.obs.tracer.instant(
+                "ssd.incident_snapshot", category="recovery",
+                sim_time=sim_time, trigger=trigger,
+            )
+        return bundle
+
+    def _queue_state(self) -> Dict[str, object]:
+        """Recovery-queue occupancy and headroom, JSON-ready."""
+        queue = self.ftl.queue
+        depth = len(queue)
+        capacity = queue.capacity
+        return {
+            "depth": depth,
+            "capacity": capacity,
+            "headroom": capacity - depth if capacity is not None else None,
+            "pinned_pages": queue.pinned_count,
+            "evictions": queue.evictions,
+            "retention_seconds": queue.retention,
+            "memory_bytes": queue.memory_bytes(),
+        }
+
+    def _incident_extra(self) -> Dict[str, object]:
+        """The live-state sections stamped into every incident bundle."""
+        detector_section: Optional[Dict[str, object]] = None
+        if self.detector is not None:
+            detector = self.detector
+            alarm = detector.alarm_event
+            detector_section = {
+                "config": {
+                    "slice_duration": detector.config.slice_duration,
+                    "window_slices": detector.config.window_slices,
+                    "threshold": detector.config.threshold,
+                },
+                "score": detector.score,
+                "window": detector.window.snapshot(),
+                "fast_forwarded_slices": detector.fast_forwarded_slices,
+                "alarm_event": None if alarm is None else {
+                    "time": alarm.time,
+                    "slice_index": alarm.slice_index,
+                    "score": alarm.score,
+                },
+            }
+        return {
+            "device": {
+                "read_only": self.read_only,
+                "degraded": self.degraded,
+                "reads": self.stats.reads,
+                "writes": self.stats.writes,
+                "dropped_writes": self.stats.dropped_writes,
+                "failed_writes": self.stats.failed_writes,
+                "uncorrectable_reads": self.stats.uncorrectable_reads,
+                "unmapped_reads": self.stats.unmapped_reads,
+                "power_losses": self.stats.power_losses,
+            },
+            "detector": detector_section,
+            "recovery_queue": self._queue_state(),
+            "faults": (
+                self.fault_injector.stats.as_dict()
+                if self.fault_injector is not None else None
+            ),
+        }
+
     # -- internals -----------------------------------------------------------
 
     def _stamp(self, now: Optional[float]) -> float:
@@ -414,6 +561,8 @@ class SimulatedSSD:
                     "ssd.power_loss", category="reliability",
                     sim_time=self.clock.now,
                 )
+            if self.fr is not None:
+                self.fr.record_event("power_loss", self.clock.now)
             self.power_cycle()
 
     def _media_degrade(self, reason: str, lockdown: bool, **details) -> None:
@@ -433,6 +582,15 @@ class SimulatedSSD:
                 "ssd.media_alarm", category="reliability",
                 sim_time=self.clock.now, reason=reason,
                 lockdown=lockdown, **details,
+            )
+        if self.fr is not None:
+            self.fr.record_event(
+                "media_alarm", self.clock.now,
+                reason=reason, lockdown=lockdown, **details,
+            )
+            self._cut_incident(
+                "media_alarm", self.clock.now,
+                details={"cause": reason, "lockdown": lockdown, **details},
             )
 
     def _read_block(self, lba: int) -> bytes:

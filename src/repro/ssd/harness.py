@@ -7,8 +7,8 @@ call with a structured outcome.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from repro.ftl.insider import RollbackReport
 from repro.obs import Observability
@@ -33,6 +33,9 @@ class DefenseOutcome:
     #: The device's observability bundle (tracer + metrics), when the run
     #: was instrumented; None for the un-observed default.
     obs: Optional[Observability] = None
+    #: Incident bundles the device cut during the run (alarm, media
+    #: alarm...), when a flight recorder was armed; empty otherwise.
+    incidents: List[dict] = field(default_factory=list)
 
     @property
     def data_loss_rate(self) -> float:
@@ -84,6 +87,13 @@ def run_defense(
     device.tick(device.clock.now + max(idle_gap, device.config.retention + 1.0))
 
     onset = device.clock.now
+    if device.fr is not None:
+        # Time-to-detect in the incident report is measured from this
+        # onset; the bundle carries it so the report needs nothing else.
+        device.fr.set_context(
+            sample=sample, seed=seed, attack_onset=onset,
+            user_blocks=user_blocks,
+        )
     attack = make_ransomware(
         sample,
         LbaRegion(0, user_blocks),
@@ -119,4 +129,5 @@ def run_defense(
         blocks_audited=audited,
         blocks_corrupted=corrupted,
         obs=device.obs if device.obs.enabled else None,
+        incidents=list(device.incidents),
     )

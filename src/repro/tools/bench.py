@@ -26,8 +26,10 @@ report the measured speedup.  Results land in ``BENCH_hotpath.json``::
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import random
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -319,6 +321,33 @@ def check_equivalence(config: DetectorConfig, seed: int = GOLDEN_SEED) -> Dict[s
     }
 
 
+# -- provenance --------------------------------------------------------------
+
+def report_meta(config: Dict[str, object]) -> Dict[str, object]:
+    """Provenance stamped into every report: git SHA + config hash.
+
+    ``repro.tools.benchdiff`` refuses to treat two reports as comparable
+    silently when their config hashes differ, and the SHAs map a
+    regression straight onto a commit range.  Outside a git checkout the
+    SHA is ``None`` (the report stays valid).
+    """
+    try:
+        sha: Optional[str] = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        sha = None
+    digest = hashlib.sha256(
+        json.dumps(config, sort_keys=True).encode("utf-8")
+    ).hexdigest()[:12]
+    return {
+        "git_sha": sha,
+        "config_hash": digest,
+        "created_unix": round(time.time(), 3),
+    }
+
+
 # -- CLI ---------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -373,6 +402,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         },
         "paths": {},
     }
+    report["meta"] = report_meta(report["config"])
 
     if not args.no_check:
         print("equivalence gate: replaying golden scenario ...", flush=True)

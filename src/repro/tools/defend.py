@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from repro.nand.geometry import NandGeometry
 from repro.obs import Observability
+from repro.obs.flightrec import FlightRecorder
 from repro.ssd.config import SSDConfig
 from repro.ssd.device import SimulatedSSD
 from repro.ssd.harness import run_defense
@@ -52,14 +53,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--metrics", metavar="FILE", default=None,
                         help="write the metrics-registry snapshot as JSON "
                              "to FILE")
+    parser.add_argument("--forensics-out", metavar="FILE", default=None,
+                        help="arm the flight recorder and write the "
+                             "incident bundle(s) to FILE (render with "
+                             "python -m repro.tools.forensics)")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Run the defense cycle; returns the exit code."""
     args = build_parser().parse_args(argv)
-    observe = args.trace_out is not None or args.metrics is not None
-    obs = Observability.on() if observe else None
+    observe = (args.trace_out is not None or args.metrics is not None
+               or args.forensics_out is not None)
+    flight = (FlightRecorder() if args.forensics_out is not None
+              else None)
+    obs = Observability.on(flight=flight) if observe else None
     device = SimulatedSSD(
         SSDConfig(
             geometry=NandGeometry(channels=2, ways=4, blocks_per_chip=128,
@@ -98,6 +106,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             with open(args.metrics, "w", encoding="utf-8") as handle:
                 handle.write(obs.metrics.render_json(indent=2))
             print(f"metrics: {len(obs.metrics)} families -> {args.metrics}")
+        if args.forensics_out is not None:
+            import json
+
+            bundles = list(device.incidents)
+            if not bundles:
+                # No alarm fired — freeze the black box anyway so the
+                # near-misses and feature timelines are inspectable.
+                bundles = [device.snapshot_incident("run_end")]
+            payload = bundles[0] if len(bundles) == 1 else bundles
+            with open(args.forensics_out, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"forensics: {len(bundles)} incident bundle(s) -> "
+                  f"{args.forensics_out}")
     if not outcome.alarm_raised:
         return 3
     if not args.no_recover and outcome.blocks_corrupted > 0:

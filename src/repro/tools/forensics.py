@@ -1,0 +1,400 @@
+"""Render an incident bundle as a human-readable incident report.
+
+Example::
+
+    python -m repro.tools.defend --sample wannacry --forensics-out incident.json
+    python -m repro.tools.forensics incident.json
+    python -m repro.tools.forensics incident.json --out report.txt
+    python -m repro.tools.forensics --trace trace.json
+
+Input is either an **incident bundle** (the self-contained JSON the
+flight recorder cuts on an alarm — see :mod:`repro.obs.flightrec`) or,
+with ``--trace``, a Chrome-trace JSON from ``--trace-out``: the detector
+slice instants in the trace are rebuilt into a reduced pseudo-bundle
+(feature timelines and score, but no tree paths — the tracer does not
+record them).
+
+The report answers the questions a post-incident review asks: *when* was
+the attack detected and how long did that take, *why* did the tree call
+those slices ransomware (exact root-to-leaf path + margins to flip),
+*what* was the host doing around the alarm (request window, LBA
+overwrite heat, workload sources), and *how much* recovery headroom the
+queue had when the rollback ran.
+
+Exit status: 0 on success, 2 on unreadable/unrecognised input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import render_sparkline, render_table
+from repro.core.features import FEATURE_NAMES
+from repro.obs.flightrec import INCIDENT_SCHEMA
+
+#: Buckets used for the LBA write-heat summary.
+LBA_HEAT_BUCKETS = 16
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.forensics",
+        description="Render an SSD-Insider incident bundle as a "
+                    "human-readable incident report.",
+    )
+    parser.add_argument("bundle", nargs="?", default=None,
+                        help="incident bundle JSON (from --forensics-out "
+                             "or SimulatedSSD.incidents)")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="build a reduced pseudo-bundle from a "
+                             "Chrome-trace JSON instead of a bundle")
+    parser.add_argument("--out", metavar="FILE", default=None,
+                        help="write the report to FILE instead of stdout")
+    return parser
+
+
+# -- trace ingestion --------------------------------------------------------
+
+def bundle_from_trace(document: Dict[str, object]) -> Dict[str, object]:
+    """Rebuild a reduced pseudo-bundle from a Chrome-trace document.
+
+    Only what the tracer recorded is available: per-slice feature values
+    and scores from ``detector.slice`` instants, plus the lockdown
+    moment.  Tree paths, request headers and queue samples are absent and
+    the report marks their sections accordingly.
+    """
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("not a Chrome-trace document (no traceEvents)")
+    slices: List[Dict[str, object]] = []
+    trigger: Optional[Dict[str, object]] = None
+    for event in events:
+        name = event.get("name")
+        args = event.get("args", {})
+        if name == "detector.slice":
+            slices.append({
+                "time": args.get("sim_time_s"),
+                "slice_index": args.get("slice_index"),
+                "features": {
+                    feature: args.get(feature) for feature in FEATURE_NAMES
+                },
+                "verdict": args.get("verdict"),
+                "score": args.get("score"),
+                "alarm": False,
+                "near_miss": False,
+                "path": None,
+                "margins": {},
+            })
+        elif name == "ssd.lockdown" and trigger is None:
+            trigger = {
+                "reason": "alarm",
+                "sim_time": args.get("sim_time_s"),
+                "slice_index": args.get("slice_index"),
+                "score": args.get("score"),
+            }
+    if trigger is not None and slices:
+        for entry in slices:
+            if entry["slice_index"] == trigger.get("slice_index"):
+                entry["alarm"] = True
+    return {
+        "schema": INCIDENT_SCHEMA + "+trace",
+        "trigger": trigger or {"reason": "none", "sim_time": None},
+        "context": {},
+        "window_seconds": None,
+        "attribution": {"slices": slices, "near_misses": []},
+        "requests": [],
+        "queue_samples": [],
+        "events": [],
+    }
+
+
+# -- report sections --------------------------------------------------------
+
+def _fmt_time(value: object) -> str:
+    return f"{value:.3f}s" if isinstance(value, (int, float)) else "?"
+
+
+def _section_header(bundle: Dict[str, object], lines: List[str]) -> None:
+    trigger = bundle.get("trigger", {})
+    context = bundle.get("context", {})
+    lines.append("=== SSD-Insider incident report ===")
+    lines.append(f"schema:  {bundle.get('schema', '?')}")
+    lines.append(f"trigger: {trigger.get('reason', '?')} at "
+                 f"{_fmt_time(trigger.get('sim_time'))}")
+    if context:
+        rendered = ", ".join(
+            f"{key}={value}" for key, value in sorted(context.items())
+        )
+        lines.append(f"context: {rendered}")
+
+
+def _section_time_to_detect(bundle: Dict[str, object],
+                            lines: List[str]) -> None:
+    trigger = bundle.get("trigger", {})
+    context = bundle.get("context", {})
+    alarm_time = trigger.get("sim_time")
+    onset = context.get("attack_onset")
+    slices = bundle.get("attribution", {}).get("slices", [])
+    lines.append("")
+    lines.append("--- time to detect ---")
+    if trigger.get("reason") != "alarm" or alarm_time is None:
+        lines.append("no alarm in this bundle")
+        return
+    lines.append(f"alarm at {_fmt_time(alarm_time)} "
+                 f"(slice {trigger.get('slice_index', '?')}, "
+                 f"score {trigger.get('score', '?')})")
+    if isinstance(onset, (int, float)) and isinstance(alarm_time,
+                                                      (int, float)):
+        lines.append(f"attack onset {_fmt_time(onset)}  ->  "
+                     f"time-to-detect {alarm_time - onset:.3f}s")
+        first_hit = next(
+            (entry for entry in slices
+             if entry.get("verdict") == 1
+             and isinstance(entry.get("time"), (int, float))
+             and entry["time"] > onset),
+            None,
+        )
+        if first_hit is not None:
+            lines.append(
+                f"first ransomware-verdict slice at "
+                f"{_fmt_time(first_hit['time'])} "
+                f"(+{first_hit['time'] - onset:.3f}s after onset); score "
+                f"climbed to threshold over "
+                f"{alarm_time - first_hit['time']:.3f}s"
+            )
+
+
+def _section_decision_path(bundle: Dict[str, object],
+                           lines: List[str]) -> None:
+    slices = bundle.get("attribution", {}).get("slices", [])
+    lines.append("")
+    lines.append("--- decision path (alarming slice) ---")
+    target = next(
+        (entry for entry in reversed(slices) if entry.get("alarm")),
+        slices[-1] if slices else None,
+    )
+    if target is None:
+        lines.append("no attributed slices in the bundle")
+        return
+    path = target.get("path")
+    lines.append(f"slice {target.get('slice_index', '?')} at "
+                 f"{_fmt_time(target.get('time'))}: verdict="
+                 f"{target.get('verdict', '?')} score="
+                 f"{target.get('score', '?')}"
+                 + (" (ALARM)" if target.get("alarm") else ""))
+    if not path:
+        lines.append("tree path unavailable (trace-derived bundle)")
+        return
+    rows = [
+        (step["node_id"], step["feature_name"],
+         f"{step['value']:.4g}",
+         "<=" if step["branch"] == "left" else "> ",
+         f"{step['threshold']:.4g}", step["branch"])
+        for step in path.get("steps", [])
+    ]
+    lines.append(render_table(
+        ("node", "feature", "value", "test", "threshold", "branch"), rows
+    ))
+    lines.append(f"leaf {path.get('leaf_id', '?')}: label="
+                 f"{path.get('label', '?')} "
+                 f"(trained on {path.get('leaf_samples', '?')} samples)")
+    margins = target.get("margins", {})
+    if margins:
+        rendered = ", ".join(
+            f"{feature}: {margin:.4g}"
+            for feature, margin in sorted(margins.items())
+        )
+        lines.append(f"margin to flip: {rendered}")
+
+
+def _section_feature_timelines(bundle: Dict[str, object],
+                               lines: List[str]) -> None:
+    slices = bundle.get("attribution", {}).get("slices", [])
+    lines.append("")
+    lines.append("--- feature timelines (window before the trigger) ---")
+    if not slices:
+        lines.append("no attributed slices in the bundle")
+        return
+    width = max(len(name) for name in FEATURE_NAMES + ("score",))
+    for feature in FEATURE_NAMES:
+        series = [entry.get("features", {}).get(feature) or 0.0
+                  for entry in slices]
+        lines.append(f"{feature.rjust(width)}  "
+                     f"{render_sparkline(series)}  last={series[-1]:.4g}")
+    scores = [entry.get("score", 0) for entry in slices]
+    lines.append(f"{'score'.rjust(width)}  {render_sparkline(scores)}  "
+                 f"last={scores[-1]}")
+    near = bundle.get("attribution", {}).get("near_misses", [])
+    if near:
+        lines.append(f"near-misses retained: "
+                     + ", ".join(
+                         f"score {entry.get('score')} at "
+                         f"{_fmt_time(entry.get('time'))}"
+                         for entry in near
+                     ))
+
+
+def _section_request_window(bundle: Dict[str, object],
+                            lines: List[str]) -> None:
+    requests = bundle.get("requests", [])
+    lines.append("")
+    lines.append("--- host request window ---")
+    if not requests:
+        lines.append("no request headers in the bundle")
+        return
+    reads = sum(1 for request in requests if request.get("mode") == "R")
+    writes = len(requests) - reads
+    span_start = requests[0].get("time")
+    span_end = requests[-1].get("time")
+    lines.append(f"{len(requests)} requests ({reads} reads, {writes} "
+                 f"writes) spanning {_fmt_time(span_start)} .. "
+                 f"{_fmt_time(span_end)}")
+    sources: Dict[str, int] = {}
+    for request in requests:
+        source = request.get("source") or "(unattributed)"
+        sources[source] = sources.get(source, 0) + 1
+    lines.append("by source: " + ", ".join(
+        f"{source}={count}"
+        for source, count in sorted(sources.items(),
+                                    key=lambda item: -item[1])
+    ))
+    write_lbas = [request["lba"] for request in requests
+                  if request.get("mode") == "W"]
+    if write_lbas:
+        low, high = min(write_lbas), max(write_lbas)
+        buckets = [0] * LBA_HEAT_BUCKETS
+        span = max(1, high - low + 1)
+        for lba in write_lbas:
+            buckets[min(LBA_HEAT_BUCKETS - 1,
+                        (lba - low) * LBA_HEAT_BUCKETS // span)] += 1
+        lines.append(f"write heat over LBA [{low}..{high}], "
+                     f"{LBA_HEAT_BUCKETS} buckets: "
+                     f"{render_sparkline(buckets, width=LBA_HEAT_BUCKETS)} "
+                     f"(peak {max(buckets)})")
+
+
+def _section_recovery(bundle: Dict[str, object], lines: List[str]) -> None:
+    samples = bundle.get("queue_samples", [])
+    queue = bundle.get("recovery_queue") or {}
+    rollback = bundle.get("rollback")
+    lines.append("")
+    lines.append("--- recovery queue ---")
+    if samples:
+        depths = [sample.get("depth", 0) for sample in samples]
+        lines.append(f"occupancy {render_sparkline(depths)} "
+                     f"(last depth {depths[-1]})")
+    if queue:
+        lines.append(
+            f"at snapshot: depth {queue.get('depth', '?')}/"
+            f"{queue.get('capacity', 'unbounded')}, headroom "
+            f"{queue.get('headroom', 'n/a')}, pinned pages "
+            f"{queue.get('pinned_pages', '?')}, evictions "
+            f"{queue.get('evictions', '?')}, retention "
+            f"{queue.get('retention_seconds', '?')}s"
+        )
+    if rollback:
+        at_rollback = rollback.get("queue_at_rollback") or {}
+        lines.append(
+            f"rollback at {_fmt_time(rollback.get('time'))}: "
+            f"{rollback.get('entries_applied', '?')} entries applied, "
+            f"{rollback.get('lbas_restored', '?')} LBAs restored, "
+            f"{rollback.get('lbas_unmapped', '?')} unmapped"
+        )
+        if at_rollback:
+            lines.append(
+                f"queue at rollback: depth {at_rollback.get('depth', '?')}/"
+                f"{at_rollback.get('capacity', 'unbounded')}, headroom "
+                f"{at_rollback.get('headroom', 'n/a')}, evictions "
+                f"{at_rollback.get('evictions', '?')}"
+            )
+    if not (samples or queue or rollback):
+        lines.append("no recovery-queue data in the bundle")
+
+
+def _section_events(bundle: Dict[str, object], lines: List[str]) -> None:
+    events = bundle.get("events", [])
+    lines.append("")
+    lines.append("--- firmware events in window ---")
+    if not events:
+        lines.append("none recorded")
+        return
+    rows = []
+    for event in events:
+        details = {key: value for key, value in event.items()
+                   if key not in ("kind", "time")}
+        rendered = ", ".join(f"{key}={value}"
+                             for key, value in sorted(details.items()))
+        rows.append((_fmt_time(event.get("time")),
+                     event.get("kind", "?"), rendered))
+    lines.append(render_table(("time", "kind", "details"), rows))
+
+
+def _section_memory(bundle: Dict[str, object], lines: List[str]) -> None:
+    memory = bundle.get("memory")
+    if not memory:
+        return
+    lines.append("")
+    lines.append("--- flight-recorder memory ---")
+    lines.append(f"used {memory.get('used_bytes', '?')} / budget "
+                 f"{memory.get('budget_bytes', '?')} bytes; capacities "
+                 f"{memory.get('capacities', {})}; recorded "
+                 f"{memory.get('recorded', {})}")
+
+
+def render_report(bundle: Dict[str, object]) -> str:
+    """Render one incident bundle as the full text report."""
+    lines: List[str] = []
+    _section_header(bundle, lines)
+    _section_time_to_detect(bundle, lines)
+    _section_decision_path(bundle, lines)
+    _section_feature_timelines(bundle, lines)
+    _section_request_window(bundle, lines)
+    _section_recovery(bundle, lines)
+    _section_events(bundle, lines)
+    _section_memory(bundle, lines)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Render the report; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    if (args.bundle is None) == (args.trace is None):
+        print("error: pass exactly one of a bundle path or --trace FILE")
+        return 2
+    path = args.bundle or args.trace
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {path}: {exc}")
+        return 2
+    if args.trace is not None:
+        try:
+            bundles = [bundle_from_trace(document)]
+        except ValueError as exc:
+            print(f"error: {exc}")
+            return 2
+    else:
+        bundles = document if isinstance(document, list) else [document]
+        for bundle in bundles:
+            schema = bundle.get("schema", "") if isinstance(bundle, dict) \
+                else ""
+            if not str(schema).startswith("ssd-insider.incident/"):
+                print(f"error: {path} is not an incident bundle "
+                      f"(schema {schema!r})")
+                return 2
+    report = "\n\n".join(render_report(bundle) for bundle in bundles)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"report ({len(bundles)} incident(s)) -> {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,140 @@
+"""The benchdiff CLI: metric flattening, judgement, pair and trajectory."""
+
+import json
+
+from repro.tools import benchdiff
+from repro.tools.bench import report_meta
+
+
+def make_report(requests_per_sec=1000.0, p99_us=5.0, created=100.0,
+                config=None, smoke=False):
+    config = config or {"requests": 1000, "seed": 7}
+    return {
+        "schema": "ssd-insider.bench_hotpath/v1",
+        "smoke": smoke,
+        "config": config,
+        "meta": {
+            "git_sha": "deadbeef",
+            "config_hash": str(sorted(config.items())),
+            "created_unix": created,
+        },
+        "paths": {
+            "detector": {
+                "requests_per_sec": requests_per_sec,
+                "elapsed_s": 1000.0 / requests_per_sec,
+                "alarm": True,
+                "per_request": {"p99_us": p99_us},
+            },
+        },
+    }
+
+
+def write_report(path, report):
+    path.write_text(json.dumps(report), encoding="utf-8")
+    return path
+
+
+class TestFlattenAndJudge:
+    def test_flatten_numeric_leaves_only(self):
+        flat = benchdiff.flatten_metrics(make_report())
+        assert flat["detector.requests_per_sec"] == 1000.0
+        assert flat["detector.per_request.p99_us"] == 5.0
+        assert "detector.alarm" not in flat  # booleans are not metrics
+
+    def test_direction_by_suffix(self):
+        assert benchdiff.direction("detector.requests_per_sec") == 1
+        assert benchdiff.direction("detector.per_request.p99_us") == -1
+        assert benchdiff.direction("detector.slices_closed") == 0
+
+    def test_judge_throughput_drop_is_regression(self):
+        verdict, rel = benchdiff.judge("x.requests_per_sec", 100, 80, 0.10)
+        assert verdict == "REGRESSED" and rel == -0.2
+
+    def test_judge_latency_drop_is_improvement(self):
+        verdict, _ = benchdiff.judge("x.p99_us", 10.0, 5.0, 0.10)
+        assert verdict == "improved"
+
+    def test_judge_within_threshold_is_ok(self):
+        verdict, _ = benchdiff.judge("x.elapsed_s", 10.0, 10.5, 0.10)
+        assert verdict == "ok"
+
+
+class TestPairMode:
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        old = write_report(tmp_path / "BENCH_old.json", make_report())
+        new = write_report(tmp_path / "BENCH_new.json",
+                           make_report(requests_per_sec=500.0))
+        code = benchdiff.main([str(old), str(new)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REGRESSED" in out
+
+    def test_clean_comparison_exits_zero(self, tmp_path, capsys):
+        old = write_report(tmp_path / "BENCH_old.json", make_report())
+        new = write_report(tmp_path / "BENCH_new.json",
+                           make_report(requests_per_sec=1010.0))
+        code = benchdiff.main([str(old), str(new)])
+        assert code == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_threshold_is_tunable(self, tmp_path):
+        old = write_report(tmp_path / "BENCH_old.json", make_report())
+        new = write_report(tmp_path / "BENCH_new.json",
+                           make_report(requests_per_sec=850.0))
+        assert benchdiff.main([str(old), str(new)]) == 1
+        assert benchdiff.main([str(old), str(new),
+                               "--threshold", "0.25"]) == 0
+
+    def test_config_hash_mismatch_warns(self, tmp_path, capsys):
+        old = write_report(tmp_path / "BENCH_old.json", make_report())
+        new = write_report(
+            tmp_path / "BENCH_new.json",
+            make_report(config={"requests": 2000, "seed": 8}),
+        )
+        benchdiff.main([str(old), str(new)])
+        assert "config hashes differ" in capsys.readouterr().out
+
+    def test_non_bench_json_rejected(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text('{"schema": "something-else"}', encoding="utf-8")
+        ok = write_report(tmp_path / "BENCH_ok.json", make_report())
+        assert benchdiff.main([str(ok), str(bad)]) == 2
+
+
+class TestTrajectoryMode:
+    def test_orders_by_created_stamp_and_judges_last_step(
+        self, tmp_path, capsys
+    ):
+        write_report(tmp_path / "BENCH_c.json",
+                     make_report(requests_per_sec=800.0, created=300.0))
+        write_report(tmp_path / "BENCH_a.json",
+                     make_report(requests_per_sec=1000.0, created=100.0))
+        write_report(tmp_path / "BENCH_b.json",
+                     make_report(requests_per_sec=1050.0, created=200.0))
+        code = benchdiff.main([str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1  # b -> c dropped ~24%
+        lines = out.splitlines()
+        order = [line.split()[0] for line in lines
+                 if line.startswith("BENCH_")]
+        assert order == ["BENCH_a.json", "BENCH_b.json", "BENCH_c.json"]
+
+    def test_single_report_directory_is_an_error(self, tmp_path, capsys):
+        write_report(tmp_path / "BENCH_only.json", make_report())
+        assert benchdiff.main([str(tmp_path)]) == 2
+
+
+class TestBenchMeta:
+    def test_meta_has_provenance_fields(self):
+        meta = report_meta({"requests": 10, "seed": 1})
+        assert set(meta) == {"git_sha", "config_hash", "created_unix"}
+        assert len(meta["config_hash"]) == 12
+
+    def test_config_hash_is_order_insensitive(self):
+        first = report_meta({"a": 1, "b": 2})
+        second = report_meta({"b": 2, "a": 1})
+        assert first["config_hash"] == second["config_hash"]
+
+    def test_config_hash_tracks_content(self):
+        assert (report_meta({"a": 1})["config_hash"]
+                != report_meta({"a": 2})["config_hash"])

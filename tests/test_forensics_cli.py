@@ -1,0 +1,88 @@
+"""The forensics CLI: incident bundles in, incident reports out."""
+
+import json
+
+import pytest
+
+from repro.tools import defend, forensics
+
+
+@pytest.fixture(scope="module")
+def incident_file(tmp_path_factory):
+    """One golden defend run with the flight recorder armed."""
+    path = tmp_path_factory.mktemp("forensics") / "incident.json"
+    code = defend.main(["--sample", "wannacry", "--seed", "3",
+                        "--forensics-out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestForensicsCli:
+    def test_renders_full_report(self, incident_file, capsys):
+        code = forensics.main([str(incident_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "incident report" in out
+        assert "time-to-detect" in out
+        assert "decision path" in out
+        assert "leaf" in out
+        assert "margin to flip" in out
+        assert "queue at rollback" in out
+
+    def test_time_to_detect_matches_detection_event(self, incident_file,
+                                                    capsys):
+        """Acceptance: the rendered alarm time IS DetectionEvent.time."""
+        bundle = json.loads(incident_file.read_text(encoding="utf-8"))
+        alarming = [entry for entry in bundle["attribution"]["slices"]
+                    if entry["alarm"]][-1]
+        forensics.main([str(incident_file)])
+        out = capsys.readouterr().out
+        assert f"alarm at {alarming['time']:.3f}s" in out
+        expected = alarming["time"] - bundle["context"]["attack_onset"]
+        assert f"time-to-detect {expected:.3f}s" in out
+
+    def test_out_file(self, incident_file, tmp_path, capsys):
+        report = tmp_path / "report.txt"
+        code = forensics.main([str(incident_file), "--out", str(report)])
+        capsys.readouterr()
+        assert code == 0
+        assert "decision path" in report.read_text(encoding="utf-8")
+
+    def test_trace_mode_builds_pseudo_bundle(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert defend.main(["--sample", "wannacry", "--seed", "3",
+                            "--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        code = forensics.main(["--trace", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tree path unavailable" in out
+        assert "alarm at" in out
+
+    def test_rejects_non_bundle_json(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"hello": "world"}', encoding="utf-8")
+        assert forensics.main([str(bogus)]) == 2
+        assert "not an incident bundle" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, capsys):
+        assert forensics.main(["/nonexistent/bundle.json"]) == 2
+
+    def test_requires_exactly_one_input(self, capsys):
+        assert forensics.main([]) == 2
+
+
+class TestDefendForensicsFlag:
+    def test_no_alarm_still_writes_a_bundle(self, tmp_path, capsys):
+        """A missed sample freezes the black box at run end instead."""
+        path = tmp_path / "incident.json"
+        defend.main(["--sample", "mole", "--seed", "4", "--no-recover",
+                     "--forensics-out", str(path)])
+        out = capsys.readouterr().out
+        assert "forensics: 1 incident bundle(s)" in out
+        bundle = json.loads(path.read_text(encoding="utf-8"))
+        reasons = {bundle["trigger"]["reason"]} if isinstance(bundle, dict) \
+            else {entry["trigger"]["reason"] for entry in bundle}
+        assert reasons  # a bundle exists whatever the trigger was
+        capsys.readouterr()
+        assert forensics.main([str(path)]) == 0

@@ -180,3 +180,63 @@ class TestObservabilityHub:
         obs.bind_clock(clock)
         obs.tracer.instant("x")
         assert obs.tracer.events[0].sim_ts == 2.0
+
+
+class TestRingMode:
+    def test_drop_oldest_keeps_most_recent(self):
+        tracer = EventTracer(max_events=3, drop_oldest=True)
+        for i in range(7):
+            tracer.instant(f"e{i}")
+        assert [e.name for e in tracer.events] == ["e4", "e5", "e6"]
+        assert tracer.dropped == 4
+
+    def test_default_cap_still_drops_newest(self):
+        tracer = EventTracer(max_events=3)
+        for i in range(7):
+            tracer.instant(f"e{i}")
+        assert [e.name for e in tracer.events] == ["e0", "e1", "e2"]
+        assert tracer.dropped == 4
+
+    def test_dropped_counter_reported_in_export(self):
+        tracer = EventTracer(max_events=1, drop_oldest=True)
+        tracer.instant("a")
+        tracer.instant("b")
+        assert tracer.to_chrome_trace()["otherData"]["dropped"] == 1
+
+    def test_ring_mode_records_spans_and_counters_too(self):
+        tracer = EventTracer(max_events=2, drop_oldest=True)
+        with tracer.span("s"):
+            pass
+        tracer.counter("c", 1.0)
+        tracer.instant("i")
+        assert [e.name for e in tracer.events] == ["c", "i"]
+
+
+class TestFindIndex:
+    def test_find_matches_full_scan(self):
+        """Satellite micro-test: the name index IS the full scan."""
+        tracer = EventTracer()
+        for i in range(50):
+            tracer.instant(f"name{i % 5}", value=i)
+        for name in [f"name{k}" for k in range(5)] + ["missing"]:
+            assert tracer.find(name) == [
+                event for event in tracer.events if event.name == name
+            ]
+
+    def test_find_matches_full_scan_after_ring_evictions(self):
+        tracer = EventTracer(max_events=7, drop_oldest=True)
+        for i in range(40):
+            tracer.instant(f"name{i % 3}", value=i)
+        for name in ("name0", "name1", "name2", "gone"):
+            assert tracer.find(name) == [
+                event for event in tracer.events if event.name == name
+            ]
+
+    def test_find_after_drop_newest_cap(self):
+        tracer = EventTracer(max_events=4)
+        for i in range(10):
+            tracer.instant(f"name{i % 2}")
+        for name in ("name0", "name1"):
+            assert tracer.find(name) == [
+                event for event in tracer.events if event.name == name
+            ]
