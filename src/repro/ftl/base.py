@@ -68,6 +68,9 @@ class PageMappedFTL:
         self.allocator = BlockAllocator(nand)
         self.stats = FtlStats()
         self.obs = obs if obs is not None else Observability.off()
+        #: Cached profiler handle (None disarmed); the read/write/trim
+        #: wrappers and GC test this once per operation.
+        self._prof = self.obs.profiler
         self._m_gc_copies = None
         self._m_erases = None
         if self.obs.enabled:
@@ -105,11 +108,23 @@ class PageMappedFTL:
 
     def read(self, lba: int, timestamp: float = 0.0) -> PageInfo:
         """Read the live version of ``lba``."""
+        prof = self._prof
+        if prof is None:
+            return self._read_impl(lba, timestamp)
+        with prof.section("ftl.read"):
+            return self._read_impl(lba, timestamp)
+
+    def _read_impl(self, lba: int, timestamp: float) -> PageInfo:
         # Reads advance the FTL's notion of "now" just like writes do:
         # cost-benefit victim selection ages blocks against the newest host
         # I/O, and a read-heavy phase must not freeze that clock.
         self._last_timestamp = max(self._last_timestamp, timestamp)
-        ppa = self.mapping.lookup(lba)
+        prof = self._prof
+        if prof is None:
+            ppa = self.mapping.lookup(lba)
+        else:
+            with prof.section("ftl.translate"):
+                ppa = self.mapping.lookup(lba)
         if ppa is None:
             raise UnmappedReadError(f"LBA {lba} has never been written")
         self.stats.host_reads += 1
@@ -124,16 +139,37 @@ class PageMappedFTL:
         :class:`~repro.errors.ExhaustedRetriesError` — every replacement
         block failing too — surfaces to the caller.
         """
+        prof = self._prof
+        if prof is None:
+            return self._write_impl(lba, timestamp, payload)
+        with prof.section("ftl.write"):
+            return self._write_impl(lba, timestamp, payload)
+
+    def _write_impl(self, lba: int, timestamp: float,
+                    payload: Optional[bytes]) -> int:
         self._last_timestamp = max(self._last_timestamp, timestamp)
         self._ensure_space()
         new_ppa = self._host_program(lba, timestamp, payload)
-        old_ppa = self.mapping.update(lba, new_ppa)
+        prof = self._prof
+        if prof is None:
+            old_ppa = self.mapping.update(lba, new_ppa)
+        else:
+            with prof.section("ftl.translate"):
+                old_ppa = self.mapping.update(lba, new_ppa)
         self.stats.host_writes += 1
         self._on_superseded(lba, old_ppa, new_ppa, timestamp)
         return new_ppa
 
     def trim(self, lba: int, timestamp: float = 0.0) -> None:
         """Discard the live version of ``lba`` (e.g. on file deletion)."""
+        prof = self._prof
+        if prof is None:
+            self._trim_impl(lba, timestamp)
+            return
+        with prof.section("ftl.trim"):
+            self._trim_impl(lba, timestamp)
+
+    def _trim_impl(self, lba: int, timestamp: float) -> None:
         self._last_timestamp = max(self._last_timestamp, timestamp)
         old_ppa = self.mapping.unmap(lba)
         self.stats.host_trims += 1
@@ -283,16 +319,34 @@ class PageMappedFTL:
         return erased
 
     def _collect_garbage(self) -> int:
+        prof = self._prof
+        if prof is None:
+            return self._collect_garbage_impl()
+        with prof.section("ftl.gc"):
+            return self._collect_garbage_impl()
+
+    def _collect_garbage_impl(self) -> int:
         erased = 0
         tracer = self.obs.tracer
+        prof = self._prof
         while self.allocator.free_blocks <= self.gc_policy.target_free_blocks:
-            victim = select_victim(
-                self.nand,
-                is_candidate=self._gc_candidate,
-                is_pinned=self._is_pinned,
-                policy=self.gc_policy.victim_policy,
-                now=self._last_timestamp,
-            )
+            if prof is None:
+                victim = select_victim(
+                    self.nand,
+                    is_candidate=self._gc_candidate,
+                    is_pinned=self._is_pinned,
+                    policy=self.gc_policy.victim_policy,
+                    now=self._last_timestamp,
+                )
+            else:
+                with prof.section("ftl.gc.select_victim"):
+                    victim = select_victim(
+                        self.nand,
+                        is_candidate=self._gc_candidate,
+                        is_pinned=self._is_pinned,
+                        policy=self.gc_policy.victim_policy,
+                        now=self._last_timestamp,
+                    )
             if victim is not None and tracer.enabled:
                 block = self.nand.block(victim)
                 tracer.instant(

@@ -5,16 +5,18 @@ selection" (footnote 4), i.e. the victim is the closed block with the most
 reclaimable pages.  For the Insider FTL, pages pinned by the recovery queue
 are *not* reclaimable — they must be copied like valid pages — which is the
 source of the extra page copies in Fig. 9.
+
+Victim selection itself lives in :mod:`repro.ftl.victim` (greedy plus the
+cost-benefit and generational alternatives); this module holds only the
+policy knobs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Dict
 
 from repro.errors import ConfigError
-from repro.nand.array import NandArray
-from repro.nand.block import PageState
 
 
 @dataclass(frozen=True)
@@ -42,55 +44,10 @@ class GcPolicy:
 
             object.__setattr__(self, "victim_policy", VictimPolicy.GREEDY)
 
-
-def select_victim(
-    nand: NandArray,
-    is_candidate: Callable[[int], bool],
-    is_pinned: Callable[[int], bool],
-) -> Optional[int]:
-    """Pick the closed block with the most reclaimable pages.
-
-    Args:
-        nand: The NAND array.
-        is_candidate: Filters out free and active blocks.
-        is_pinned: True for PPAs whose (invalid) page must survive GC because
-            the recovery queue still references it.
-
-    Returns:
-        The global block index of the best victim, or ``None`` when no
-        candidate has a single reclaimable page.
-    """
-    best_block: Optional[int] = None
-    best_reclaimable = 0
-    for global_block in range(nand.num_blocks):
-        if not is_candidate(global_block):
-            continue
-        block = nand.block(global_block)
-        if not block.is_full:
-            continue
-        reclaimable = block.invalid_count
-        if reclaimable == 0:
-            continue
-        if reclaimable <= best_reclaimable:
-            continue
-        # Only count pinned pages for blocks that could beat the incumbent;
-        # the pin check walks the block's pages.
-        pinned = _count_pinned(nand, global_block, is_pinned)
-        reclaimable -= pinned
-        if reclaimable > best_reclaimable:
-            best_reclaimable = reclaimable
-            best_block = global_block
-    return best_block
-
-
-def _count_pinned(
-    nand: NandArray, global_block: int, is_pinned: Callable[[int], bool]
-) -> int:
-    block = nand.block(global_block)
-    count = 0
-    for ppa in nand.block_ppa_range(global_block):
-        page_index = ppa % nand.geometry.pages_per_block
-        page = block.pages[page_index]
-        if page.state is PageState.INVALID and is_pinned(ppa):
-            count += 1
-    return count
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready policy knobs (stamped into profile report contexts)."""
+        return {
+            "trigger_free_blocks": self.trigger_free_blocks,
+            "target_free_blocks": self.target_free_blocks,
+            "victim_policy": self.victim_policy.value,
+        }

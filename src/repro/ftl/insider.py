@@ -68,6 +68,7 @@ class InsiderFTL(PageMappedFTL):
         self._m_queue_depth = None
         self._m_queue_pinned = None
         self._m_queue_evictions = None
+        self._m_queue_occupancy = None
         if self.obs.enabled:
             metrics = self.obs.metrics
             self._m_queue_depth = metrics.gauge(
@@ -82,10 +83,27 @@ class InsiderFTL(PageMappedFTL):
                 "Entries evicted early because the queue hit capacity "
                 "(each one is in-window recovery coverage lost).",
             )
+            # Mergeable occupancy distribution: depth counts start at 1,
+            # so one unit of resolution below that is plenty.
+            self._m_queue_occupancy = metrics.loghistogram(
+                "recovery_queue_occupancy",
+                "Queue depth sampled at every queue transition.",
+                min_value=1.0,
+            )
 
     # -- hooks ------------------------------------------------------------
 
     def _on_superseded(
+        self, lba: int, old_ppa: Optional[int], new_ppa: int, timestamp: float
+    ) -> None:
+        prof = self._prof
+        if prof is None:
+            self._on_superseded_impl(lba, old_ppa, new_ppa, timestamp)
+            return
+        with prof.section("queue.update"):
+            self._on_superseded_impl(lba, old_ppa, new_ppa, timestamp)
+
+    def _on_superseded_impl(
         self, lba: int, old_ppa: Optional[int], new_ppa: int, timestamp: float
     ) -> None:
         expired = self.queue.expire(timestamp)
@@ -99,6 +117,15 @@ class InsiderFTL(PageMappedFTL):
                                     pinned=old_ppa is not None)
 
     def _on_trimmed(self, lba: int, old_ppa: int, timestamp: float) -> None:
+        prof = self._prof
+        if prof is None:
+            self._on_trimmed_impl(lba, old_ppa, timestamp)
+            return
+        with prof.section("queue.update"):
+            self._on_trimmed_impl(lba, old_ppa, timestamp)
+
+    def _on_trimmed_impl(self, lba: int, old_ppa: int,
+                         timestamp: float) -> None:
         expired = self.queue.expire(timestamp)
         self.nand.invalidate(old_ppa)
         evicted = self.queue.push(
@@ -125,6 +152,7 @@ class InsiderFTL(PageMappedFTL):
         if self._m_queue_depth is not None:
             self._m_queue_depth.set(len(self.queue))
             self._m_queue_pinned.set(self.queue.pinned_count)
+            self._m_queue_occupancy.observe(len(self.queue))
         fr = self.obs.flightrec
         if fr is not None:
             if evicted:
@@ -159,6 +187,14 @@ class InsiderFTL(PageMappedFTL):
         tenants' recent writes stay untouched and their backups stay
         queued.
         """
+        prof = self._prof
+        if prof is None:
+            return self._rollback_impl(now, lba_range)
+        with prof.section("ftl.rollback"):
+            return self._rollback_impl(now, lba_range)
+
+    def _rollback_impl(self, now: float,
+                       lba_range: Optional[tuple]) -> RollbackReport:
         self.queue.expire(now)
         if lba_range is None:
             entries = self.queue.drain()

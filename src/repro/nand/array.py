@@ -22,7 +22,7 @@ from repro.nand.block import Block, PageInfo, PageState
 from repro.nand.chip import NandChip
 from repro.nand.ecc import EccConfig, ReliabilityCounters
 from repro.nand.geometry import NandGeometry
-from repro.nand.latency import NandLatencies
+from repro.nand.latency import LatencyBreakdown, NandLatencies
 
 
 @dataclass(frozen=True)
@@ -63,6 +63,13 @@ class NandArray:
         ]
         #: Accumulated simulated NAND busy time in seconds.
         self.busy_time = 0.0
+        #: The same busy time split by operation class (reads vs programs
+        #: vs erases vs ECC retries) — stamped into profile reports.
+        self.busy_breakdown = LatencyBreakdown()
+        #: Optional :class:`~repro.obs.prof.LayerProfiler`.  The array
+        #: sits below the FTL in the constructor chain and takes no obs
+        #: bundle; the device hands it the profiler after construction.
+        self.profiler = None
         if faults is not None:
             for global_block in faults.factory_bad_blocks(self.num_blocks):
                 self.block(global_block).mark_bad()
@@ -99,11 +106,20 @@ class NandArray:
         :class:`~repro.errors.ProgramFailError` is raised for the FTL to
         remap the write and retire the block.
         """
+        prof = self.profiler
+        if prof is None:
+            return self._program_impl(global_block, lba, timestamp, payload)
+        with prof.section("nand.program"):
+            return self._program_impl(global_block, lba, timestamp, payload)
+
+    def _program_impl(self, global_block: int, lba: int, timestamp: float,
+                      payload=None) -> int:
         chip_index = global_block // self.geometry.blocks_per_chip
         block_index = global_block % self.geometry.blocks_per_chip
         chip = self._chips[chip_index]
         page_index = chip.program(block_index, lba, timestamp, payload)
         self.busy_time += self.latencies.page_program
+        self.busy_breakdown.page_program += self.latencies.page_program
         ppa = global_block * self.geometry.pages_per_block + page_index
         if self.faults is not None and self.faults.on_program(global_block):
             chip.block(block_index).burn(page_index)
@@ -124,13 +140,28 @@ class NandArray:
         :class:`~repro.errors.UncorrectableReadError` when the page stays
         corrupt.
         """
+        prof = self.profiler
+        if prof is None:
+            return self._read_impl(ppa)
+        with prof.section("nand.read"):
+            return self._read_impl(ppa)
+
+    def _read_impl(self, ppa: int) -> PageInfo:
         chip_index, block_index, page_index = self.geometry.decompose(ppa)
         info = self._chips[chip_index].read(block_index, page_index)
         self.busy_time += self.latencies.page_read
+        self.busy_breakdown.page_read += self.latencies.page_read
         if self.faults is not None:
             fault = self.faults.on_read(ppa)
             if fault is not None:
-                self._correct_read(fault, chip_index, block_index, page_index)
+                prof = self.profiler
+                if prof is None:
+                    self._correct_read(fault, chip_index, block_index,
+                                       page_index)
+                else:
+                    with prof.section("nand.ecc_retry"):
+                        self._correct_read(fault, chip_index, block_index,
+                                           page_index)
         return info
 
     def _correct_read(self, fault, chip_index: int, block_index: int,
@@ -151,9 +182,11 @@ class NandArray:
         chip = self._chips[chip_index]
         for attempt in range(1, retries + 1):
             chip.read(block_index, page_index)
-            self.busy_time += self.latencies.read_retry(
+            retry_cost = self.latencies.read_retry(
                 attempt, self.ecc.retry_backoff
             )
+            self.busy_time += retry_cost
+            self.busy_breakdown.read_retry += retry_cost
             self.reliability.read_retries += 1
         if fault.hard or fault.retries_needed > budget:
             self.reliability.uncorrectable_reads += 1
@@ -183,6 +216,14 @@ class NandArray:
         :class:`~repro.errors.EraseError` is raised — the grown-bad-block
         path the FTL already survives for natural wear-out.
         """
+        prof = self.profiler
+        if prof is None:
+            self._erase_impl(global_block)
+            return
+        with prof.section("nand.erase"):
+            self._erase_impl(global_block)
+
+    def _erase_impl(self, global_block: int) -> None:
         chip_index = global_block // self.geometry.blocks_per_chip
         block_index = global_block % self.geometry.blocks_per_chip
         chip = self._chips[chip_index]
@@ -191,6 +232,7 @@ class NandArray:
             self.reliability.erase_fails += 1
             chip.counters.erase_fails += 1
             self.busy_time += self.latencies.block_erase
+            self.busy_breakdown.block_erase += self.latencies.block_erase
             raise EraseError(
                 f"erase verify failed on block {global_block} (injected wear-out)"
             )
@@ -202,8 +244,10 @@ class NandArray:
             self.reliability.erase_fails += 1
             chip.counters.erase_fails += 1
             self.busy_time += self.latencies.block_erase
+            self.busy_breakdown.block_erase += self.latencies.block_erase
             raise
         self.busy_time += self.latencies.block_erase
+        self.busy_breakdown.block_erase += self.latencies.block_erase
 
     # -- accounting -------------------------------------------------------
 

@@ -71,3 +71,9 @@ class ReliabilityCounters:
         import dataclasses
 
         return dataclasses.replace(self)
+
+    def as_dict(self) -> dict:
+        """JSON-ready counter values (stamped into profile reports)."""
+        import dataclasses
+
+        return dataclasses.asdict(self)

@@ -9,6 +9,7 @@ the insider's ~150-250 ns software overhead negligible (Fig. 8 analysis).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 from repro.errors import ConfigError
 from repro.units import MS, US
@@ -41,3 +42,39 @@ class NandLatencies:
         if attempt < 1:
             raise ConfigError(f"retry attempt must be >= 1, got {attempt}")
         return self.page_read * backoff ** (attempt - 1)
+
+
+@dataclass
+class LatencyBreakdown:
+    """Accumulated simulated NAND busy time, split by operation class.
+
+    The array's flat ``busy_time`` answers "how long was the media busy";
+    this breakdown answers "on what" — the simulated-time complement to
+    the profiler's wall-time attribution (a page program is 10x a page
+    read on the device's clock regardless of how long the Python model
+    took to execute it).
+    """
+
+    page_read: float = 0.0
+    page_program: float = 0.0
+    block_erase: float = 0.0
+    read_retry: float = 0.0
+
+    def add(self, op: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of busy time against operation ``op``."""
+        setattr(self, op, getattr(self, op) + seconds)
+
+    def total(self) -> float:
+        """Busy time across all operation classes."""
+        return (self.page_read + self.page_program
+                + self.block_erase + self.read_retry)
+
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-ready per-op seconds plus the total."""
+        return {
+            "page_read_s": self.page_read,
+            "page_program_s": self.page_program,
+            "block_erase_s": self.block_erase,
+            "read_retry_s": self.read_retry,
+            "total_s": self.total(),
+        }

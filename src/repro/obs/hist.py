@@ -1,0 +1,269 @@
+"""Mergeable log-bucketed (HDR-style) histograms.
+
+Per-run JSON blobs of raw samples do not scale to a fleet: ten thousand
+device runs each holding a million latency samples cannot be concatenated,
+shipped, or compared.  What *does* scale is a histogram whose buckets are
+defined by the **value domain alone** — independent of the data that
+landed in them — because then any two histograms with the same parameters
+merge by adding bucket counts, and the merge of N shards is bucket-exact
+equal to the histogram of the concatenated samples.
+
+:class:`LogHistogram` is that primitive.  Buckets are *log-linear* in the
+style of HDR histograms: the value axis is split into powers of two
+(octaves), and every octave is split into ``subbuckets`` equal-width
+linear buckets.  The relative width of every bucket is therefore at most
+``1 / subbuckets`` — with the default of 32 subbuckets, any quantile read
+back from the histogram is within ~3% of the exact sample quantile, over
+an unbounded dynamic range, at a memory cost of one dict entry per
+*occupied* bucket.
+
+Bucket indexing is computed with :func:`math.frexp`, so the mapping from
+value to bucket is exact, platform-stable, and deterministic — the
+property the merge guarantee rests on.
+
+The compact form (:meth:`LogHistogram.to_compact` /
+:meth:`LogHistogram.from_compact`) is a small JSON-ready dict holding the
+parameters and the sparse bucket counts; round-tripping it is lossless.
+:class:`~repro.obs.metrics.MetricsRegistry` adopts this class for its
+latency/occupancy series via
+:meth:`~repro.obs.metrics.MetricsRegistry.loghistogram`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import ObservabilityError
+
+#: Default linear subdivisions per power-of-two octave (~3% resolution).
+DEFAULT_SUBBUCKETS = 32
+
+#: Default smallest distinguishable value (1 ns when recording seconds).
+DEFAULT_MIN_VALUE = 1e-9
+
+#: Schema stamped into the compact form.
+COMPACT_SCHEMA = "ssd-insider.loghist/v1"
+
+
+class LogHistogram:
+    """A mergeable log-linear histogram of non-negative samples.
+
+    Args:
+        subbuckets: Linear subdivisions per octave.  The relative width of
+            every bucket — and therefore the worst-case relative quantile
+            error — is ``1 / subbuckets``.
+        min_value: Values at or below this (and all non-positive values)
+            collapse into the dedicated underflow/zero bucket; everything
+            above is resolved log-linearly.
+
+    Two histograms merge only when both parameters match exactly.
+    """
+
+    __slots__ = ("subbuckets", "min_value", "counts", "zero_count",
+                 "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        subbuckets: int = DEFAULT_SUBBUCKETS,
+        min_value: float = DEFAULT_MIN_VALUE,
+    ) -> None:
+        if subbuckets < 1:
+            raise ObservabilityError(
+                f"subbuckets must be >= 1, got {subbuckets}"
+            )
+        if min_value <= 0:
+            raise ObservabilityError(
+                f"min_value must be positive, got {min_value}"
+            )
+        self.subbuckets = int(subbuckets)
+        self.min_value = float(min_value)
+        #: Sparse bucket counts: bucket index -> occurrences.
+        self.counts: Dict[int, int] = {}
+        #: Samples at or below zero / below ``min_value``'s first bucket.
+        self.zero_count = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # -- recording ---------------------------------------------------------
+
+    def index_of(self, value: float) -> int:
+        """Deterministic bucket index of a positive value.
+
+        The value axis above ``min_value`` is split into octaves
+        ``[2^q, 2^(q+1)) * min_value`` and each octave into ``subbuckets``
+        linear slots; index ``q * subbuckets + slot``.
+        """
+        mantissa, exponent = math.frexp(value / self.min_value)
+        if exponent < 1:
+            # Below min_value: collapse into the first bucket.
+            return 0
+        return ((exponent - 1) * self.subbuckets
+                + int((mantissa - 0.5) * 2 * self.subbuckets))
+
+    def bucket_bounds(self, index: int) -> Tuple[float, float]:
+        """The ``[lower, upper)`` value range of one bucket index."""
+        octave, slot = divmod(index, self.subbuckets)
+        base = self.min_value * (2.0 ** octave)
+        lower = base * (1.0 + slot / self.subbuckets)
+        upper = base * (1.0 + (slot + 1) / self.subbuckets)
+        return lower, upper
+
+    def record(self, value: float, count: int = 1) -> None:
+        """Fold ``count`` occurrences of ``value`` into the histogram."""
+        if count <= 0:
+            return
+        value = float(value)
+        self.count += count
+        self.sum += value * count
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zero_count += count
+            return
+        index = self.index_of(value)
+        self.counts[index] = self.counts.get(index, 0) + count
+
+    # -- merging -----------------------------------------------------------
+
+    def compatible_with(self, other: "LogHistogram") -> bool:
+        """True when the two histograms share bucket parameters."""
+        return (self.subbuckets == other.subbuckets
+                and self.min_value == other.min_value)
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Add ``other``'s contents into this histogram (returns self).
+
+        Because buckets are defined by the value domain alone, the result
+        is bucket-exact equal to recording both sample streams into one
+        histogram, in any order.
+        """
+        if not self.compatible_with(other):
+            raise ObservabilityError(
+                f"cannot merge log histograms with different parameters: "
+                f"({self.subbuckets}, {self.min_value}) vs "
+                f"({other.subbuckets}, {other.min_value})"
+            )
+        for index, count in other.counts.items():
+            self.counts[index] = self.counts.get(index, 0) + count
+        self.zero_count += other.zero_count
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        return self
+
+    # -- reading back ------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) of the recorded samples.
+
+        The estimate is the arithmetic midpoint of the bucket containing
+        the rank, so its relative error against the exact sample quantile
+        is bounded by the bucket resolution ``1 / subbuckets``.
+        """
+        if not (0.0 <= q <= 1.0):
+            raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        if rank <= self.zero_count:
+            return 0.0
+        seen = self.zero_count
+        for index in sorted(self.counts):
+            seen += self.counts[index]
+            if seen >= rank:
+                lower, upper = self.bucket_bounds(index)
+                return (lower + upper) / 2.0
+        return self.max if self.max is not None else 0.0
+
+    def mean(self) -> float:
+        """Arithmetic mean of the recorded samples (exact, from the sum)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def occupied_buckets(self) -> Iterator[Tuple[int, int]]:
+        """``(index, count)`` pairs, ascending by index."""
+        for index in sorted(self.counts):
+            yield index, self.counts[index]
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Prometheus-style ``(upper_bound, cumulative_count)`` pairs.
+
+        Only occupied buckets are emitted (plus the implicit ``+Inf``), so
+        the exposition stays proportional to the distribution's spread,
+        not to the histogram's unbounded index range.
+        """
+        pairs: List[Tuple[float, int]] = []
+        cumulative = self.zero_count
+        if self.zero_count:
+            pairs.append((self.min_value, cumulative))
+        for index, count in self.occupied_buckets():
+            cumulative += count
+            pairs.append((self.bucket_bounds(index)[1], cumulative))
+        pairs.append((math.inf, self.count))
+        return pairs
+
+    # -- compact form ------------------------------------------------------
+
+    def to_compact(self) -> Dict[str, object]:
+        """JSON-ready sparse form; round-trips losslessly."""
+        return {
+            "schema": COMPACT_SCHEMA,
+            "subbuckets": self.subbuckets,
+            "min_value": self.min_value,
+            "zero_count": self.zero_count,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(index): count
+                        for index, count in self.occupied_buckets()},
+        }
+
+    @classmethod
+    def from_compact(cls, payload: Mapping[str, object]) -> "LogHistogram":
+        """Rebuild a histogram from its :meth:`to_compact` form."""
+        schema = payload.get("schema")
+        if schema != COMPACT_SCHEMA:
+            raise ObservabilityError(
+                f"not a compact log histogram (schema {schema!r})"
+            )
+        hist = cls(
+            subbuckets=int(payload["subbuckets"]),  # type: ignore[arg-type]
+            min_value=float(payload["min_value"]),  # type: ignore[arg-type]
+        )
+        hist.zero_count = int(payload.get("zero_count", 0))  # type: ignore[arg-type]
+        hist.count = int(payload.get("count", 0))  # type: ignore[arg-type]
+        hist.sum = float(payload.get("sum", 0.0))  # type: ignore[arg-type]
+        minimum = payload.get("min")
+        maximum = payload.get("max")
+        hist.min = None if minimum is None else float(minimum)  # type: ignore[arg-type]
+        hist.max = None if maximum is None else float(maximum)  # type: ignore[arg-type]
+        buckets = payload.get("buckets", {})
+        if not isinstance(buckets, Mapping):
+            raise ObservabilityError("compact form 'buckets' must be a mapping")
+        hist.counts = {int(index): int(count)
+                       for index, count in buckets.items()}
+        return hist
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LogHistogram):
+            return NotImplemented
+        return (self.subbuckets == other.subbuckets
+                and self.min_value == other.min_value
+                and self.counts == other.counts
+                and self.zero_count == other.zero_count
+                and self.count == other.count
+                and self.sum == other.sum
+                and self.min == other.min
+                and self.max == other.max)
+
+    def __repr__(self) -> str:
+        return (f"LogHistogram(count={self.count}, "
+                f"buckets={len(self.counts)}, sub={self.subbuckets})")

@@ -1,0 +1,273 @@
+"""Layer-attributed profiler: where does the device path actually spend time?
+
+``results/BENCH_hotpath.json`` can say the full
+:class:`~repro.ssd.device.SimulatedSSD` path runs at ~78k req/s while the
+detector alone does ~390k — but not *where inside* NAND / FTL /
+latency-model the other 80% goes.  This module is the attribution layer:
+lightweight enter/exit hooks threaded through the device, the FTLs, the
+NAND array and the detector accumulate **inclusive/exclusive wall time and
+call counts per layer** into a call tree, cheap enough to leave compiled
+into every hot path.
+
+Design rules (the same ones the tracer follows):
+
+* **disarmed is free** — components cache ``obs.profiler`` (``None`` by
+  default) and branch away on a single ``is not None`` test before any
+  argument is built; the supercritical detector ``observe`` path swaps in
+  a profiled bound method at construction time so the disarmed class body
+  is not touched at all;
+* **armed is honest** — every ``start``/``stop`` pair costs two
+  ``perf_counter_ns`` calls plus a dict probe, and the profiler counts its
+  own events and calibrates that cost so the report quantifies its own
+  overhead instead of silently folding it into the layers;
+* **recording only** — hooks never branch on profiler state in a way that
+  changes behaviour: a profiler-armed run's
+  :class:`~repro.core.detector.DetectionEvent` stream is bit-identical to
+  a plain run (tested in ``tests/test_profiler.py``).
+
+The report (schema ``ssd-insider.profile/v1``) is rendered by
+``python -m repro.tools.profile``; see ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter_ns
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ObservabilityError
+
+#: Schema stamped into every profile report.
+PROFILE_SCHEMA = "ssd-insider.profile/v1"
+
+#: Layer-name prefixes that belong to the device data path (as opposed to
+#: the replay harness or the detector's own pipeline).
+DEVICE_PATH_PREFIXES = ("ssd.", "ftl.", "nand.", "queue.")
+
+
+class ProfileNode:
+    """One call-tree node: a layer as reached through one parent chain."""
+
+    __slots__ = ("name", "calls", "total_ns", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.total_ns = 0
+        self.children: Dict[str, "ProfileNode"] = {}
+
+    def exclusive_ns(self) -> int:
+        """Inclusive time minus the time attributed to child nodes."""
+        return self.total_ns - sum(
+            child.total_ns for child in self.children.values()
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready subtree, children ordered by inclusive time."""
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "inclusive_s": self.total_ns / 1e9,
+            "exclusive_s": self.exclusive_ns() / 1e9,
+            "children": [
+                child.as_dict() for child in sorted(
+                    self.children.values(),
+                    key=lambda node: node.total_ns, reverse=True,
+                )
+            ],
+        }
+
+
+class _SectionGuard:
+    """Shared context manager closing the profiler's innermost section.
+
+    State lives in the profiler's stacks, so one guard instance serves
+    arbitrarily nested ``with profiler.section(...)`` blocks, and the
+    section is closed even when the body raises.
+    """
+
+    __slots__ = ("_profiler",)
+
+    def __init__(self, profiler: "LayerProfiler") -> None:
+        self._profiler = profiler
+
+    def __enter__(self) -> "_SectionGuard":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._profiler.stop()
+        return False
+
+
+class LayerProfiler:
+    """Accumulates per-layer wall time and call counts into a call tree.
+
+    Usage from instrumented code (``prof`` is ``obs.profiler``, cached)::
+
+        if prof is not None:
+            with prof.section("ftl.write"):
+                ...the write path...
+
+    ``start``/``stop`` are also public for callers that cannot use a
+    ``with`` block.  Sections nest; time spent in a child section is
+    *inclusive* for every ancestor and *exclusive* only for the child.
+    """
+
+    def __init__(self) -> None:
+        #: Synthetic root; never started or stopped itself.
+        self.root = ProfileNode("(root)")
+        self._stack: List[ProfileNode] = [self.root]
+        self._starts: List[int] = []
+        #: Completed start/stop pairs (the overhead model's event count).
+        self.events = 0
+        self._guard = _SectionGuard(self)
+
+    # -- recording ---------------------------------------------------------
+
+    def start(self, name: str) -> None:
+        """Open a section named ``name`` under the current section."""
+        parent = self._stack[-1]
+        node = parent.children.get(name)
+        if node is None:
+            node = ProfileNode(name)
+            parent.children[name] = node
+        self._stack.append(node)
+        self._starts.append(perf_counter_ns())
+
+    def stop(self) -> None:
+        """Close the innermost open section."""
+        end = perf_counter_ns()
+        if len(self._stack) <= 1:
+            raise ObservabilityError("profiler stop() without a matching start()")
+        node = self._stack.pop()
+        node.total_ns += end - self._starts.pop()
+        node.calls += 1
+        self.events += 1
+
+    def section(self, name: str) -> _SectionGuard:
+        """Open ``name`` and return the shared closing context manager."""
+        self.start(name)
+        return self._guard
+
+    @property
+    def depth(self) -> int:
+        """Currently open (unclosed) sections."""
+        return len(self._stack) - 1
+
+    # -- aggregation -------------------------------------------------------
+
+    def layers(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate the tree by layer name, summing across parent chains.
+
+        Exclusive times from distinct tree positions are disjoint, so the
+        per-layer exclusive sums partition the attributed wall time
+        exactly.  (Inclusive sums would double-count a layer nested under
+        itself; no instrumented layer in this repo recurses.)
+        """
+        aggregated: Dict[str, Dict[str, float]] = {}
+
+        def visit(node: ProfileNode) -> None:
+            for child in node.children.values():
+                entry = aggregated.setdefault(
+                    child.name,
+                    {"calls": 0, "inclusive_s": 0.0, "exclusive_s": 0.0},
+                )
+                entry["calls"] += child.calls
+                entry["inclusive_s"] += child.total_ns / 1e9
+                entry["exclusive_s"] += child.exclusive_ns() / 1e9
+                visit(child)
+
+        visit(self.root)
+        return aggregated
+
+    def attributed_seconds(self) -> float:
+        """Total wall time inside top-level sections (= sum of exclusives)."""
+        return sum(child.total_ns for child in self.root.children.values()) / 1e9
+
+
+def calibrate_overhead(iterations: int = 50_000) -> float:
+    """Measure the cost of one ``start``/``stop`` pair, in nanoseconds.
+
+    Runs a throwaway profiler through ``iterations`` empty sections and
+    returns the mean pair cost — the per-event term of the overhead model
+    stamped into every report.
+    """
+    probe = LayerProfiler()
+    begin = perf_counter_ns()
+    for _ in range(iterations):
+        probe.start("calibration")
+        probe.stop()
+    elapsed = perf_counter_ns() - begin
+    return elapsed / max(1, iterations)
+
+
+def build_report(
+    profiler: LayerProfiler,
+    wall_time_s: float,
+    context: Optional[Dict[str, object]] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the ``ssd-insider.profile/v1`` report document.
+
+    Args:
+        profiler: The armed profiler after the measured run.
+        wall_time_s: Independently measured wall time of the profiled
+            region (the coverage check compares attribution against it).
+        context: Run description (scenario, seeds, device config...).
+        meta: Provenance (git SHA, config hash), as produced by
+            :func:`repro.tools.bench.report_meta`.
+    """
+    if profiler.depth:
+        raise ObservabilityError(
+            f"profiler still has {profiler.depth} open section(s); "
+            f"close them before building a report"
+        )
+    layers = profiler.layers()
+    attributed = profiler.attributed_seconds()
+    ordered = sorted(
+        (
+            {
+                "layer": name,
+                "calls": int(stats["calls"]),
+                "inclusive_s": round(stats["inclusive_s"], 6),
+                "exclusive_s": round(stats["exclusive_s"], 6),
+                "exclusive_pct_of_wall": round(
+                    100.0 * stats["exclusive_s"] / wall_time_s, 2
+                ) if wall_time_s else 0.0,
+            }
+            for name, stats in layers.items()
+        ),
+        key=lambda row: row["exclusive_s"], reverse=True,
+    )
+    device_rows = [row for row in ordered
+                   if str(row["layer"]).startswith(DEVICE_PATH_PREFIXES)]
+    device_exclusive = sum(row["exclusive_s"] for row in device_rows)
+    per_event_ns = calibrate_overhead()
+    overhead_s = profiler.events * per_event_ns / 1e9
+    report: Dict[str, object] = {
+        "schema": PROFILE_SCHEMA,
+        "context": context or {},
+        "wall_time_s": round(wall_time_s, 6),
+        "coverage": {
+            "attributed_s": round(attributed, 6),
+            "fraction_of_wall": round(attributed / wall_time_s, 4)
+            if wall_time_s else 0.0,
+        },
+        "layers": ordered,
+        "device_path": {
+            "exclusive_s": round(device_exclusive, 6),
+            "fraction_of_wall": round(device_exclusive / wall_time_s, 4)
+            if wall_time_s else 0.0,
+            "top_layers": [row["layer"] for row in device_rows[:3]],
+        },
+        "tree": profiler.root.as_dict(),
+        "overhead": {
+            "events": profiler.events,
+            "calibrated_ns_per_event": round(per_event_ns, 1),
+            "estimated_s": round(overhead_s, 6),
+            "estimated_fraction_of_wall": round(overhead_s / wall_time_s, 4)
+            if wall_time_s else 0.0,
+        },
+    }
+    if meta is not None:
+        report["meta"] = meta
+    return report

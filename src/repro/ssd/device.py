@@ -95,12 +95,20 @@ class SimulatedSSD:
             FaultInjector(self.config.faults)
             if self.config.faults is not None else None
         )
+        #: Cached profiler handle (None disarmed) — hot paths test this
+        #: once instead of chasing ``self.obs.profiler`` per request.
+        self._prof = self.obs.profiler
+        #: Whether periodic registry snapshots are due on this device.
+        self._snapshots_on = self.obs.snapshot_interval is not None
         self.nand = NandArray(
             self.config.geometry,
             self.config.latencies,
             faults=self.fault_injector,
             ecc=self.config.ecc,
         )
+        # The NAND array takes no obs bundle (it sits below the FTL in the
+        # constructor chain); hand it the profiler directly.
+        self.nand.profiler = self._prof
         self.ftl = InsiderFTL(
             self.nand,
             op_ratio=self.config.op_ratio,
@@ -125,7 +133,7 @@ class SimulatedSSD:
         self._m_dropped = None
         if self.obs.enabled:
             metrics = self.obs.metrics
-            self._m_req_latency = metrics.histogram(
+            self._m_req_latency = metrics.loghistogram(
                 "ssd_request_latency_seconds",
                 "Host wall-clock time servicing one submitted request, "
                 "by opcode.",
@@ -185,10 +193,19 @@ class SimulatedSSD:
         """Execute one (possibly multi-block) request from a trace."""
         self.clock.advance_to(request.time)
         self._maybe_power_loss()
+        if self._snapshots_on:
+            self.obs.maybe_snapshot(
+                self.clock.now, before=self.refresh_obs_metrics
+            )
         if not self.obs.enabled:
             self._execute(request)
             return
-        self._observed(request, lambda: self._execute(request))
+        prof = self._prof
+        if prof is None:
+            self._observed(request, lambda: self._execute(request))
+            return
+        with prof.section("ssd.submit"):
+            self._observed(request, lambda: self._execute(request))
 
     def _observed(self, request, operate):
         """Run one host operation under the request span + metrics."""
@@ -222,6 +239,13 @@ class SimulatedSSD:
         """Read one 4-KB block; unmapped blocks read as zeroes."""
         timestamp = self._stamp(now)
         request = IORequest(time=timestamp, lba=lba, mode=IOMode.READ)
+        prof = self._prof
+        if prof is None:
+            return self._read_request(request, lba)
+        with prof.section("ssd.read"):
+            return self._read_request(request, lba)
+
+    def _read_request(self, request: IORequest, lba: int) -> bytes:
         if self.detector is not None:
             self.detector.observe(request)
         if self.fr is not None:
@@ -235,6 +259,15 @@ class SimulatedSSD:
         """Write one 4-KB block (dropped/refused while read-only)."""
         timestamp = self._stamp(now)
         request = IORequest(time=timestamp, lba=lba, mode=IOMode.WRITE)
+        prof = self._prof
+        if prof is None:
+            self._write_request(request, lba, payload)
+            return
+        with prof.section("ssd.write"):
+            self._write_request(request, lba, payload)
+
+    def _write_request(self, request: IORequest, lba: int,
+                       payload: Optional[bytes]) -> None:
         if self.detector is not None:
             self.detector.observe(request)
         if self.fr is not None:
@@ -254,7 +287,12 @@ class SimulatedSSD:
             if self._m_dropped is not None:
                 self._m_dropped.inc()
             return
-        self.ftl.trim(lba, timestamp)
+        prof = self._prof
+        if prof is None:
+            self.ftl.trim(lba, timestamp)
+            return
+        with prof.section("ssd.trim"):
+            self.ftl.trim(lba, timestamp)
 
     def tick(self, now: float) -> None:
         """Advance time without I/O (lets quiet periods decay the score).
@@ -264,6 +302,10 @@ class SimulatedSSD:
         """
         self.clock.advance_to(now)
         self._maybe_power_loss()
+        if self._snapshots_on:
+            self.obs.maybe_snapshot(
+                self.clock.now, before=self.refresh_obs_metrics
+            )
         if self.detector is not None:
             self.detector.tick(now)
         self._maybe_maintain()

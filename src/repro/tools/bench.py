@@ -130,6 +130,13 @@ def synthesize_mix(
 
 # -- measured replays --------------------------------------------------------
 
+#: Requests excluded from the steady-state percentiles: the first
+#: iterations pay interpreter warmup (bytecode specialisation, dict/branch
+#: caches, allocator growth) and used to pollute ``max_us`` with ~29 ms
+#: first-call outliers against a ~1 us p50.
+DEFAULT_WARMUP = 2000
+
+
 def _percentiles(samples_ns: List[int]) -> Dict[str, float]:
     if not samples_ns:
         return {"p50_us": 0.0, "p90_us": 0.0, "p99_us": 0.0, "max_us": 0.0}
@@ -145,10 +152,26 @@ def _percentiles(samples_ns: List[int]) -> Dict[str, float]:
     }
 
 
+def _latency_fields(samples_ns: List[int], warmup: int) -> Dict[str, object]:
+    """Whole-run and post-warmup percentile blocks for one timed replay.
+
+    A warmup that would swallow the whole run is clamped to half of it so
+    the steady-state block is never computed over an empty window.
+    """
+    fields: Dict[str, object] = {"per_request": _percentiles(samples_ns)}
+    effective = min(max(0, warmup), len(samples_ns))
+    if effective >= len(samples_ns):
+        effective = len(samples_ns) // 2
+    fields["warmup_requests"] = effective
+    fields["per_request_steady"] = _percentiles(samples_ns[effective:])
+    return fields
+
+
 def bench_detector_path(
     requests: List[IORequest],
     config: DetectorConfig,
     naive: bool = False,
+    warmup: int = DEFAULT_WARMUP,
 ) -> Dict[str, object]:
     """Replay through the (fast or naive) detector, timing every request."""
     if naive:
@@ -176,7 +199,7 @@ def bench_detector_path(
         "slices_closed": slices_closed,
         "slices_per_sec": round(slices_closed / elapsed, 1) if elapsed else 0.0,
         "alarm": detector.alarm_raised,
-        "per_request": _percentiles(samples),
+        **_latency_fields(samples, warmup),
     }
     if not naive:
         result["fast_forwarded_slices"] = detector.fast_forwarded_slices
@@ -187,7 +210,8 @@ def bench_detector_path(
 
 
 def bench_device_path(
-    requests: List[IORequest], config: DetectorConfig
+    requests: List[IORequest], config: DetectorConfig,
+    warmup: int = DEFAULT_WARMUP,
 ) -> Dict[str, object]:
     """Replay through the full simulated device (detector + FTL + NAND).
 
@@ -231,7 +255,7 @@ def bench_device_path(
         "alarms_dismissed": alarms,
         "host_writes": ssd.ftl.stats.host_writes,
         "gc_page_copies": ssd.ftl.stats.gc_page_copies,
-        "per_request": _percentiles(samples),
+        **_latency_fields(samples, warmup),
     }
 
 
@@ -366,6 +390,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="request budget for the device path")
     parser.add_argument("--scenario-duration", type=float, default=60.0,
                         help="full-scenario run length in seconds")
+    parser.add_argument("--warmup", type=int, default=DEFAULT_WARMUP,
+                        help="requests excluded from the steady-state "
+                             "percentiles (default: %(default)s)")
+    parser.add_argument("--profile", metavar="FILE", default=None,
+                        help="also run the device mix under the layer "
+                             "profiler and write the ssd-insider.profile/v1 "
+                             "report to FILE")
     parser.add_argument("--paths", default="detector,device,scenario",
                         help="comma list from {detector,device,scenario}")
     parser.add_argument("--no-baseline", action="store_true",
@@ -387,6 +418,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.gap = min(args.gap, 60.0)
         args.device_requests = min(args.device_requests, 8_000)
         args.scenario_duration = min(args.scenario_duration, 30.0)
+        args.warmup = min(args.warmup, 500)
     config = DetectorConfig()
     paths = [p.strip() for p in args.paths.split(",") if p.strip()]
     report: Dict[str, object] = {
@@ -399,6 +431,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "slice_duration": config.slice_duration,
             "window_slices": config.window_slices,
             "threshold": config.threshold,
+            "warmup_requests": args.warmup,
         },
         "paths": {},
     }
@@ -418,14 +451,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if "detector" in paths:
         print("detector path ...", flush=True)
-        detector_result = bench_detector_path(mix, config)
+        detector_result = bench_detector_path(mix, config, warmup=args.warmup)
         report["paths"]["detector"] = detector_result
         print(f"  {detector_result['requests_per_sec']:,.0f} req/s, "
               f"{detector_result['fast_forwarded_slices']} slices "
               f"fast-forwarded", flush=True)
         if not args.no_baseline:
             print("naive baseline (this is the slow part) ...", flush=True)
-            baseline = bench_detector_path(mix, config, naive=True)
+            baseline = bench_detector_path(mix, config, naive=True,
+                                           warmup=args.warmup)
             fast_s = detector_result["elapsed_s"]
             baseline["speedup_vs_naive"] = (
                 round(baseline["elapsed_s"] / fast_s, 2) if fast_s else None
@@ -438,9 +472,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("device path ...", flush=True)
         device_mix = synthesize_mix(args.device_requests, args.gap, args.seed,
                                     include_ransomware=False)
-        report["paths"]["device"] = bench_device_path(device_mix, config)
+        report["paths"]["device"] = bench_device_path(device_mix, config,
+                                                      warmup=args.warmup)
         print(f"  {report['paths']['device']['requests_per_sec']:,.0f} req/s",
               flush=True)
+
+    if args.profile is not None:
+        from repro.ssd.config import SSDConfig
+        from repro.tools.profile import profile_requests
+
+        print("profiled device replay ...", flush=True)
+        profile_mix = synthesize_mix(args.device_requests, args.gap,
+                                     args.seed, include_ransomware=False)
+        profile = profile_requests(
+            profile_mix,
+            duration=profile_mix[-1].time if profile_mix else 0.0,
+            name="bench-device-mix",
+            config=SSDConfig.small(detector=config),
+        )
+        profile_path = Path(args.profile)
+        profile_path.parent.mkdir(parents=True, exist_ok=True)
+        profile_path.write_text(json.dumps(profile, indent=2) + "\n",
+                                encoding="utf-8")
+        report["profile"] = {
+            "out": str(profile_path),
+            "coverage": profile["coverage"],
+            "top_layers": profile["device_path"]["top_layers"],
+        }
+        print(f"  profile -> {profile_path}", flush=True)
 
     if "scenario" in paths:
         print("full-scenario path ...", flush=True)

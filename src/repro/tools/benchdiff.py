@@ -49,6 +49,7 @@ DEFAULT_THRESHOLD = 0.10
 TRAJECTORY_METRICS = (
     "detector.requests_per_sec",
     "detector.per_request.p99_us",
+    "detector.per_request_steady.p99_us",
     "detector_naive_baseline.speedup_vs_naive",
     "device.requests_per_sec",
     "scenario.requests_per_sec",

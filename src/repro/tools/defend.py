@@ -11,19 +11,22 @@ sample was missed, 4 when recovery lost data.
 
 ``--trace-out`` records the run with the event tracer and writes a
 Chrome-trace JSON (open at https://ui.perfetto.dev); ``--metrics`` writes
-the metrics-registry snapshot as JSON.  Either flag turns observability
-on; without them the run is un-instrumented and behaves exactly as
-before.
+the metrics-registry snapshot as JSON; ``--profile`` arms the layer
+profiler and writes the wall-time attribution report.  Any of these flags
+turns observability on; without them the run is un-instrumented and
+behaves exactly as before.
 """
 
 from __future__ import annotations
 
 import argparse
+from time import perf_counter
 from typing import List, Optional
 
 from repro.nand.geometry import NandGeometry
 from repro.obs import Observability
 from repro.obs.flightrec import FlightRecorder
+from repro.obs.prof import build_report
 from repro.ssd.config import SSDConfig
 from repro.ssd.device import SimulatedSSD
 from repro.ssd.harness import run_defense
@@ -57,6 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="arm the flight recorder and write the "
                              "incident bundle(s) to FILE (render with "
                              "python -m repro.tools.forensics)")
+    parser.add_argument("--profile", metavar="FILE", default=None,
+                        help="arm the layer profiler and write the "
+                             "ssd-insider.profile/v1 report to FILE (render "
+                             "with python -m repro.tools.profile)")
     return parser
 
 
@@ -64,10 +71,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Run the defense cycle; returns the exit code."""
     args = build_parser().parse_args(argv)
     observe = (args.trace_out is not None or args.metrics is not None
-               or args.forensics_out is not None)
+               or args.forensics_out is not None
+               or args.profile is not None)
     flight = (FlightRecorder() if args.forensics_out is not None
               else None)
-    obs = Observability.on(flight=flight) if observe else None
+    obs = (Observability.on(flight=flight,
+                            profile=args.profile is not None)
+           if observe else None)
     device = SimulatedSSD(
         SSDConfig(
             geometry=NandGeometry(channels=2, ways=4, blocks_per_chip=128,
@@ -76,6 +86,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
         obs=obs,
     )
+    profiler = obs.profiler if obs is not None else None
+    started = perf_counter()
+    if profiler is not None:
+        profiler.start("replay")
     outcome = run_defense(
         device,
         sample=args.sample,
@@ -83,6 +97,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         recover=not args.no_recover,
     )
+    if profiler is not None:
+        profiler.stop()
+    wall = perf_counter() - started
     print(f"sample: {outcome.sample}")
     if outcome.alarm_raised:
         print(f"ALARM after {outcome.detection_latency:.1f}s "
@@ -106,6 +123,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             with open(args.metrics, "w", encoding="utf-8") as handle:
                 handle.write(obs.metrics.render_json(indent=2))
             print(f"metrics: {len(obs.metrics)} families -> {args.metrics}")
+        if args.profile is not None:
+            import json
+
+            report = build_report(
+                profiler, wall,
+                context={
+                    "scenario": f"defend-{args.sample}",
+                    "ransomware": args.sample,
+                    "seed": args.seed,
+                    "user_blocks": args.user_blocks,
+                    "alarm_raised": outcome.alarm_raised,
+                    "nand_busy": device.nand.busy_breakdown.as_dict(),
+                },
+            )
+            with open(args.profile, "w", encoding="utf-8") as handle:
+                json.dump(report, handle, indent=2)
+            coverage = report["coverage"]["fraction_of_wall"]
+            print(f"profile: {coverage:.1%} of wall attributed -> "
+                  f"{args.profile}")
         if args.forensics_out is not None:
             import json
 

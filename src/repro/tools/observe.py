@@ -61,6 +61,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the text metrics summary on stdout")
     parser.add_argument("--max-events", type=int, default=None,
                         help="cap the number of recorded trace events")
+    parser.add_argument("--format", choices=("text", "prometheus"),
+                        default="text",
+                        help="summary format: human-oriented text, or "
+                             "strict Prometheus exposition (default text)")
+    parser.add_argument("--snapshot-interval", type=float, default=None,
+                        metavar="SIM_SECONDS",
+                        help="record a registry snapshot of every counter/"
+                             "gauge each SIM_SECONDS of simulated time "
+                             "(included in --metrics-out)")
     return parser
 
 
@@ -75,7 +84,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.scenario not in catalog:
         parser.error(f"unknown scenario {args.scenario!r} (try --list)")
-    obs = Observability.on(max_events=args.max_events)
+    obs = Observability.on(max_events=args.max_events,
+                           snapshot_interval=args.snapshot_interval)
     device = SimulatedSSD(
         SSDConfig(
             geometry=NandGeometry(channels=2, ways=4, blocks_per_chip=128,
@@ -103,6 +113,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"alarm: {'RAISED' if device.alarm_raised or device.rollback_reports else 'no'}")
     print(f"trace events recorded: {len(obs.tracer.events)}"
           + (f" (+{obs.tracer.dropped} dropped)" if obs.tracer.dropped else ""))
+    if args.snapshot_interval is not None:
+        print(f"registry snapshots recorded: {len(obs.metrics.snapshots)}")
     if args.trace_out is not None:
         obs.tracer.write_chrome_trace(args.trace_out)
         print(f"trace -> {args.trace_out}")
@@ -112,7 +124,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"metrics -> {args.metrics_out}")
     if not args.no_summary:
         print()
-        print(obs.metrics.render_text())
+        if args.format == "prometheus":
+            print(obs.metrics.render_prometheus(), end="")
+        else:
+            print(obs.metrics.render_text())
     return 0
 
 

@@ -1,0 +1,196 @@
+"""Layer-attributed profiler: accounting, safety, and the do-no-harm gate.
+
+The profiler exists to make the device-path bottleneck legible, so its
+two hard obligations are tested here: (1) arming it must not change a
+single :class:`~repro.core.detector.DetectionEvent` on the golden
+scenario, and (2) its own accounting must be self-consistent — child
+inclusive time nested inside the parent, exclusive times that partition
+the root, and a report that attributes (and quantifies) its own cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import LayerProfiler, Observability
+from repro.obs.prof import (
+    DEVICE_PATH_PREFIXES,
+    PROFILE_SCHEMA,
+    build_report,
+    calibrate_overhead,
+)
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SimulatedSSD
+from repro.tools.profile import (
+    COVERAGE_FLOOR,
+    golden_scenario,
+    profile_device_replay,
+)
+from repro.workloads.scenario import Scenario
+
+GOLDEN_SEED = 20180706
+
+
+def _golden_run(duration=8.0, seed=GOLDEN_SEED):
+    return golden_scenario(duration=duration).build(seed=seed,
+                                                    duration=duration)
+
+
+class TestCallTreeAccounting:
+    def test_inclusive_exclusive_partition(self):
+        prof = LayerProfiler()
+        with prof.section("outer"):
+            for _ in range(3):
+                with prof.section("inner"):
+                    pass
+        outer = prof.root.children["outer"]
+        inner = outer.children["inner"]
+        assert outer.calls == 1
+        assert inner.calls == 3
+        # Child inclusive time nests inside the parent's.
+        assert inner.total_ns <= outer.total_ns
+        assert outer.exclusive_ns() == outer.total_ns - inner.total_ns
+        assert outer.exclusive_ns() >= 0
+
+    def test_reentrant_sections_keep_distinct_tree_paths(self):
+        prof = LayerProfiler()
+        with prof.section("a"):
+            with prof.section("b"):
+                with prof.section("a"):
+                    pass
+        top = prof.root.children["a"]
+        nested = top.children["b"].children["a"]
+        assert top.calls == 1
+        assert nested.calls == 1
+        # layers() folds both tree paths into one aggregate row.
+        assert prof.layers()["a"]["calls"] == 2
+
+    def test_attributed_seconds_sums_root_children(self):
+        prof = LayerProfiler()
+        with prof.section("x"):
+            pass
+        with prof.section("y"):
+            pass
+        expected = sum(c.total_ns for c in prof.root.children.values()) / 1e9
+        assert prof.attributed_seconds() == pytest.approx(expected)
+
+    def test_unbalanced_stop_raises(self):
+        prof = LayerProfiler()
+        with pytest.raises(ObservabilityError):
+            prof.stop()
+
+    def test_section_guard_closes_on_exception(self):
+        prof = LayerProfiler()
+        with pytest.raises(RuntimeError):
+            with prof.section("failing"):
+                raise RuntimeError("boom")
+        assert prof.depth == 0
+        assert prof.root.children["failing"].calls == 1
+
+    def test_calibrated_overhead_is_sane(self):
+        per_event_ns = calibrate_overhead(iterations=5_000)
+        # A section enter+exit is tens to hundreds of ns on any host this
+        # suite runs on; catastrophically wrong calibration (0, or ms+)
+        # would poison every report's overhead estimate.
+        assert 10 <= per_event_ns <= 100_000
+
+
+class TestBuildReport:
+    def _report(self):
+        prof = LayerProfiler()
+        with prof.section("replay"):
+            with prof.section("ssd.write"):
+                with prof.section("ftl.write"):
+                    pass
+            with prof.section("detector.observe"):
+                pass
+        return build_report(prof, wall_time_s=1.0, context={"scenario": "t"})
+
+    def test_schema_and_required_fields(self):
+        report = self._report()
+        assert report["schema"] == PROFILE_SCHEMA
+        for key in ("context", "wall_time_s", "coverage", "layers",
+                    "device_path", "tree", "overhead"):
+            assert key in report, key
+        assert report["context"]["scenario"] == "t"
+        coverage = report["coverage"]
+        assert coverage["attributed_s"] >= 0
+        assert 0 <= coverage["fraction_of_wall"] <= 1.01
+
+    def test_device_path_filters_by_prefix(self):
+        report = self._report()
+        names = [row["layer"] for row in report["layers"]]
+        for layer_name in report["device_path"]["top_layers"]:
+            assert layer_name.startswith(DEVICE_PATH_PREFIXES)
+        assert "detector.observe" in names  # reported, but not device-path
+
+    def test_overhead_is_quantified(self):
+        report = self._report()
+        overhead = report["overhead"]
+        assert overhead["events"] == 4
+        assert overhead["calibrated_ns_per_event"] > 0
+        assert overhead["estimated_s"] >= 0
+        assert 0 <= overhead["estimated_fraction_of_wall"] <= 1
+
+    def test_open_sections_rejected(self):
+        prof = LayerProfiler()
+        prof.start("replay")
+        with pytest.raises(ObservabilityError):
+            build_report(prof, wall_time_s=1.0)
+
+    def test_report_is_json_serialisable(self):
+        json.dumps(self._report())
+
+
+class TestDoNoHarm:
+    """Arming the profiler must be invisible to detection behaviour."""
+
+    def _replay(self, run, obs):
+        device = SimulatedSSD(SSDConfig.small(), obs=obs)
+        num_lbas = device.num_lbas
+        for request in run.trace:
+            lba = request.lba % max(1, num_lbas - request.length)
+            device.submit(dataclasses.replace(request, lba=lba))
+            if device.read_only:
+                device.dismiss_alarm()
+        device.tick(run.duration)
+        return device
+
+    def test_detection_event_stream_bit_identical(self):
+        """Acceptance: profiler-armed run == plain run, event for event."""
+        run = _golden_run(duration=8.0)
+        plain = self._replay(run, obs=None)
+        armed = self._replay(
+            run, obs=Observability(profiler=LayerProfiler())
+        )
+        assert len(plain.detector.events) == len(armed.detector.events)
+        for ours, theirs in zip(plain.detector.events,
+                                armed.detector.events):
+            assert ours == theirs  # frozen dataclass: bitwise field equality
+        assert plain.detector.alarm_event == armed.detector.alarm_event
+
+
+class TestGoldenCoverage:
+    def test_golden_replay_attributes_most_of_wall(self):
+        """Acceptance: per-layer exclusive times cover >=95% of wall and
+        the report names the top device-path layers."""
+        run = _golden_run(duration=8.0)
+        report = profile_device_replay(run)
+        assert report["schema"] == PROFILE_SCHEMA
+        assert report["coverage"]["fraction_of_wall"] >= COVERAGE_FLOOR
+        top = report["device_path"]["top_layers"]
+        assert top, "device-path breakdown must not be empty"
+        for layer_name in top:
+            assert layer_name.startswith(DEVICE_PATH_PREFIXES)
+        # Per-layer exclusive sums partition the attributed wall time
+        # (rows are rounded to the microsecond in the report).
+        excl_total = sum(row["exclusive_s"] for row in report["layers"])
+        assert excl_total == pytest.approx(
+            report["coverage"]["attributed_s"], abs=1e-3
+        )
+        # The report carries the simulated NAND-time complement.
+        assert report["context"]["nand_busy"]["total_s"] > 0
