@@ -17,6 +17,7 @@ from repro.ftl.mapping import MappingTable
 from repro.ftl.recovery_queue import BackupEntry, RecoveryQueue
 from repro.ftl.stats import FtlStats
 from repro.ftl.victim import VictimPolicy
+from repro.ftl.victim_index import VictimIndex
 
 __all__ = [
     "BackupEntry",
@@ -27,5 +28,6 @@ __all__ = [
     "MappingTable",
     "RecoveryQueue",
     "RollbackReport",
+    "VictimIndex",
     "VictimPolicy",
 ]

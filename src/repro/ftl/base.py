@@ -22,7 +22,7 @@ from repro.ftl.allocator import BlockAllocator
 from repro.ftl.gc import GcPolicy
 from repro.ftl.mapping import MappingTable
 from repro.ftl.stats import FtlStats
-from repro.ftl.victim import select_victim
+from repro.ftl.victim_index import VictimIndex
 from repro.nand.array import NandArray
 from repro.nand.block import PageInfo, PageState
 from repro.obs import Observability
@@ -66,6 +66,11 @@ class PageMappedFTL:
             )
         self.mapping = MappingTable(num_lbas)
         self.allocator = BlockAllocator(nand)
+        #: Incrementally maintained victim index: GC selection and
+        #: completion checks read it instead of scanning the array.  The
+        #: NAND array reports every page-accounting change back to it.
+        self.victim_index = VictimIndex(nand)
+        nand.block_listener = self.victim_index.touch
         self.stats = FtlStats()
         self.obs = obs if obs is not None else Observability.off()
         #: Cached profiler handle (None disarmed); the read/write/trim
@@ -98,6 +103,7 @@ class PageMappedFTL:
         for global_block in range(nand.num_blocks):
             if nand.block(global_block).is_bad:
                 self.allocator.retire(global_block)
+                self.victim_index.remove(global_block)
 
     # -- host interface --------------------------------------------------
 
@@ -241,6 +247,7 @@ class PageMappedFTL:
             # Pull the block from circulation first so the relocation
             # below can never be handed the dying block as a target.
             self.allocator.retire(global_block)
+            self.victim_index.remove(global_block)
             geometry = self.nand.geometry
             block = self.nand.block(global_block)
             moved = 0
@@ -331,19 +338,15 @@ class PageMappedFTL:
         prof = self._prof
         while self.allocator.free_blocks <= self.gc_policy.target_free_blocks:
             if prof is None:
-                victim = select_victim(
-                    self.nand,
-                    is_candidate=self._gc_candidate,
-                    is_pinned=self._is_pinned,
+                victim = self.victim_index.select(
+                    self._gc_candidate,
                     policy=self.gc_policy.victim_policy,
                     now=self._last_timestamp,
                 )
             else:
                 with prof.section("ftl.gc.select_victim"):
-                    victim = select_victim(
-                        self.nand,
-                        is_candidate=self._gc_candidate,
-                        is_pinned=self._is_pinned,
+                    victim = self.victim_index.select(
+                        self._gc_candidate,
                         policy=self.gc_policy.victim_policy,
                         now=self._last_timestamp,
                     )
@@ -378,15 +381,12 @@ class PageMappedFTL:
 
         Every page that must survive (valid + pinned) needs a slot in the
         GC active block or in a free block *before* the victim's erase
-        returns space to the pool.
+        returns space to the pool.  The pinned count comes straight from
+        the victim index, so the check is O(1) — no page walk.
         """
         geometry = self.nand.geometry
         block = self.nand.block(victim)
-        needed = block.valid_count
-        for ppa in self.nand.block_ppa_range(victim):
-            page = block.pages[ppa % geometry.pages_per_block]
-            if page.state is PageState.INVALID and self._is_pinned(ppa):
-                needed += 1
+        needed = block.valid_count + self.victim_index.pinned_in(victim)
         if needed == 0:
             return True
         gc_active = self.allocator.gc_active
@@ -422,6 +422,7 @@ class PageMappedFTL:
             # less block of capacity (the grown-bad-block path of real
             # firmware).
             self.allocator.retire(victim)
+            self.victim_index.remove(victim)
             self.stats.bad_blocks += 1
             return
         self.stats.erases += 1
@@ -495,6 +496,9 @@ class PageMappedFTL:
             block.pages[ppa % geometry.pages_per_block].state = PageState.VALID
             block.valid_count += 1
             ftl._last_timestamp = max(ftl._last_timestamp, written_at)
+        # The scan above rewrote page states wholesale, bypassing the
+        # per-operation listener; recompute the victim index once.
+        ftl.victim_index.rebuild()
         return ftl
 
     # -- introspection ----------------------------------------------------
@@ -502,3 +506,19 @@ class PageMappedFTL:
     def utilization(self) -> float:
         """Fraction of logical space currently mapped."""
         return self.mapping.mapped_count() / self.mapping.num_lbas
+
+    def _pinned_ppas(self):
+        """The authoritative pin set for index audits (none by default)."""
+        return ()
+
+    def audit_victim_index(self) -> None:
+        """Recount the victim index from ground truth; raise on drift.
+
+        Tests call this after stressful transitions (retirement,
+        power-loss rebuild, rollback, fault sweeps) the same way
+        :meth:`~repro.ftl.recovery_queue.RecoveryQueue.audit` is used.
+        """
+        self.victim_index.audit(
+            pinned_ppas=self._pinned_ppas(),
+            is_retired=self.allocator.is_retired,
+        )

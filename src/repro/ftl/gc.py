@@ -39,10 +39,22 @@ class GcPolicy:
             raise ConfigError("trigger_free_blocks must be >= 1")
         if self.target_free_blocks < self.trigger_free_blocks:
             raise ConfigError("target_free_blocks must be >= trigger_free_blocks")
-        if self.victim_policy is None:
-            from repro.ftl.victim import VictimPolicy
+        from repro.ftl.victim import VictimPolicy
 
+        if self.victim_policy is None:
             object.__setattr__(self, "victim_policy", VictimPolicy.GREEDY)
+        elif not isinstance(self.victim_policy, VictimPolicy):
+            # Accept the enum's string value so ``GcPolicy(**as_dict())``
+            # round-trips — profile-report context stamping feeds the
+            # dict form back when replaying a recorded configuration.
+            try:
+                object.__setattr__(
+                    self, "victim_policy", VictimPolicy(self.victim_policy)
+                )
+            except ValueError as exc:
+                raise ConfigError(
+                    f"unknown victim_policy {self.victim_policy!r}"
+                ) from exc
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready policy knobs (stamped into profile report contexts)."""

@@ -65,6 +65,11 @@ class InsiderFTL(PageMappedFTL):
             op_pages = nand.geometry.pages_total - self.mapping.num_lbas
             queue_capacity = max(1, op_pages // 2)
         self.queue = RecoveryQueue(retention=retention, capacity=queue_capacity)
+        # Pin transitions feed the victim index: a pinned old version is
+        # not reclaimable, and the per-block pinned counters are what let
+        # GC select victims (and size relocations) without page walks.
+        self.queue.on_pin = self.victim_index.pin
+        self.queue.on_unpin = self.victim_index.unpin
         self._m_queue_depth = None
         self._m_queue_pinned = None
         self._m_queue_evictions = None
@@ -244,18 +249,13 @@ class InsiderFTL(PageMappedFTL):
         report.mapping_updates += 1
 
     def _revalidate(self, ppa: int) -> None:
-        """Bring an old-version page back to VALID as the live copy."""
-        geometry = self.nand.geometry
-        global_block = geometry.block_of(ppa)
-        page_index = ppa % geometry.pages_per_block
-        block = self.nand.block(global_block)
-        page = block.pages[page_index]
-        if page.state is PageState.INVALID:
-            page.state = PageState.VALID
-            block.valid_count += 1
-        elif page.state is PageState.FREE:
-            # Cannot happen while the entry pins the page; defensive check.
-            raise RuntimeError(f"old version at PPA {ppa} was erased while pinned")
+        """Bring an old-version page back to VALID as the live copy.
+
+        Routed through the NAND array (not a direct page mutation) so the
+        victim index hears about the block's valid-count change; a FREE
+        page — an old version erased while pinned — is rejected there.
+        """
+        self.nand.revalidate(ppa)
 
     # -- power-loss recovery --------------------------------------------------
 
@@ -305,6 +305,10 @@ class InsiderFTL(PageMappedFTL):
         return ftl
 
     # -- introspection -----------------------------------------------------
+
+    def _pinned_ppas(self):
+        """The queue's authoritative pin set, for victim-index audits."""
+        return tuple(self.queue._pinned)
 
     def pinned_pages(self) -> int:
         """Old-version pages currently protected from GC."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterator, List, Optional
+from typing import Callable, Deque, Dict, Iterator, List, Optional
 
 from repro.errors import ConfigError, FtlError
 
@@ -53,6 +53,13 @@ class RecoveryQueue:
         self._entries: Deque[BackupEntry] = deque()
         self._pinned: Dict[int, BackupEntry] = {}
         self._last_timestamp = float("-inf")
+        #: Optional callables ``(ppa) -> None`` invoked when a PPA gains
+        #: or loses its pin (push, expiry, capacity eviction, rollback
+        #: drain, GC repin).  The FTL's victim index listens here; a pin
+        #: *replacement* (a newer entry re-pinning an already-pinned PPA)
+        #: is not a transition and fires neither hook.
+        self.on_pin: Optional[Callable[[int], None]] = None
+        self.on_unpin: Optional[Callable[[int], None]] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -84,13 +91,18 @@ class RecoveryQueue:
                 self.evictions += 1
         self._entries.append(entry)
         if entry.old_ppa is not None:
+            previous = self._pinned.get(entry.old_ppa)
             self._pinned[entry.old_ppa] = entry
+            if previous is None and self.on_pin is not None:
+                self.on_pin(entry.old_ppa)
         return evicted
 
     def _pop_front(self) -> BackupEntry:
         entry = self._entries.popleft()
         if entry.old_ppa is not None and self._pinned.get(entry.old_ppa) is entry:
             del self._pinned[entry.old_ppa]
+            if self.on_unpin is not None:
+                self.on_unpin(entry.old_ppa)
         return entry
 
     def expire(self, now: float) -> List[BackupEntry]:
@@ -117,9 +129,13 @@ class RecoveryQueue:
         """Record that GC relocated a pinned old version to ``new_ppa``."""
         entry = self._pinned.pop(old_ppa, None)
         if entry is None:
-            raise ConfigError(f"PPA {ppa_msg(old_ppa)} is not pinned")
+            raise ConfigError(f"{ppa_msg(old_ppa)} is not pinned")
         entry.old_ppa = new_ppa
         self._pinned[new_ppa] = entry
+        if self.on_unpin is not None:
+            self.on_unpin(old_ppa)
+        if self.on_pin is not None:
+            self.on_pin(new_ppa)
 
     def drain(self, predicate=None) -> List[BackupEntry]:
         """Remove and return entries (used by rollback).
@@ -131,7 +147,11 @@ class RecoveryQueue:
         if predicate is None:
             entries = list(self._entries)
             self._entries.clear()
+            released = list(self._pinned)
             self._pinned.clear()
+            if self.on_unpin is not None:
+                for ppa in released:
+                    self.on_unpin(ppa)
             return entries
         drained: List[BackupEntry] = []
         kept: List[BackupEntry] = []
@@ -141,6 +161,8 @@ class RecoveryQueue:
         for entry in drained:
             if entry.old_ppa is not None and self._pinned.get(entry.old_ppa) is entry:
                 del self._pinned[entry.old_ppa]
+                if self.on_unpin is not None:
+                    self.on_unpin(entry.old_ppa)
         return drained
 
     def memory_bytes(self) -> int:

@@ -70,6 +70,12 @@ class NandArray:
         #: sits below the FTL in the constructor chain and takes no obs
         #: bundle; the device hands it the profiler after construction.
         self.profiler = None
+        #: Optional callable ``(global_block) -> None`` invoked after any
+        #: operation that changes a block's page accounting (program,
+        #: invalidate, revalidate, erase — including the failure paths
+        #: that mark a block bad).  The FTL's incremental victim index
+        #: (:class:`~repro.ftl.victim_index.VictimIndex`) listens here.
+        self.block_listener = None
         if faults is not None:
             for global_block in faults.factory_bad_blocks(self.num_blocks):
                 self.block(global_block).mark_bad()
@@ -125,10 +131,14 @@ class NandArray:
             chip.block(block_index).burn(page_index)
             self.reliability.program_fails += 1
             chip.counters.program_fails += 1
+            if self.block_listener is not None:
+                self.block_listener(global_block)
             raise ProgramFailError(
                 f"program verify failed at PPA {ppa} (block {global_block})",
                 ppa=ppa,
             )
+        if self.block_listener is not None:
+            self.block_listener(global_block)
         return ppa
 
     def read(self, ppa: int) -> PageInfo:
@@ -207,6 +217,15 @@ class NandArray:
         """Mark the page at ``ppa`` invalid (superseded)."""
         chip_index, block_index, page_index = self.geometry.decompose(ppa)
         self._chips[chip_index].block(block_index).invalidate(page_index)
+        if self.block_listener is not None:
+            self.block_listener(ppa // self.geometry.pages_per_block)
+
+    def revalidate(self, ppa: int) -> None:
+        """Bring an invalid page back to VALID (rollback restoring it)."""
+        chip_index, block_index, page_index = self.geometry.decompose(ppa)
+        self._chips[chip_index].block(block_index).revalidate(page_index)
+        if self.block_listener is not None:
+            self.block_listener(ppa // self.geometry.pages_per_block)
 
     def erase(self, global_block: int) -> None:
         """Erase a global block.
@@ -233,6 +252,8 @@ class NandArray:
             chip.counters.erase_fails += 1
             self.busy_time += self.latencies.block_erase
             self.busy_breakdown.block_erase += self.latencies.block_erase
+            if self.block_listener is not None:
+                self.block_listener(global_block)
             raise EraseError(
                 f"erase verify failed on block {global_block} (injected wear-out)"
             )
@@ -245,9 +266,13 @@ class NandArray:
             chip.counters.erase_fails += 1
             self.busy_time += self.latencies.block_erase
             self.busy_breakdown.block_erase += self.latencies.block_erase
+            if self.block_listener is not None:
+                self.block_listener(global_block)
             raise
         self.busy_time += self.latencies.block_erase
         self.busy_breakdown.block_erase += self.latencies.block_erase
+        if self.block_listener is not None:
+            self.block_listener(global_block)
 
     # -- accounting -------------------------------------------------------
 

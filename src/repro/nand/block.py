@@ -141,6 +141,24 @@ class Block:
         page.state = PageState.INVALID
         self.valid_count -= 1
 
+    def revalidate(self, page_index: int) -> None:
+        """Bring an invalid page back to VALID (rollback restoring it).
+
+        The inverse of :meth:`invalidate`: rollback re-points a mapping
+        entry at a superseded old version, which makes that physical page
+        the live copy again.  A FREE page cannot be revalidated — the old
+        version would have been erased, which pinning exists to prevent.
+        """
+        page = self.pages[page_index]
+        if page.state is PageState.VALID:
+            return
+        if page.state is PageState.FREE:
+            raise ProgramError(
+                f"cannot revalidate page {page_index}: it was erased"
+            )
+        page.state = PageState.VALID
+        self.valid_count += 1
+
     def erase(self) -> None:
         """Erase the whole block, freeing every page.
 

@@ -163,7 +163,16 @@ def _latency_fields(samples_ns: List[int], warmup: int) -> Dict[str, object]:
     if effective >= len(samples_ns):
         effective = len(samples_ns) // 2
     fields["warmup_requests"] = effective
-    fields["per_request_steady"] = _percentiles(samples_ns[effective:])
+    steady = samples_ns[effective:]
+    steady_fields = _percentiles(steady)
+    # Steady-state throughput: the post-warmup request rate is the number
+    # the trajectory gate tracks — whole-run requests_per_sec folds the
+    # interpreter warmup back in and understates hot-path regressions.
+    total_ns = sum(steady)
+    steady_fields["requests_per_sec"] = (
+        1e9 * len(steady) / total_ns if total_ns else 0.0
+    )
+    fields["per_request_steady"] = steady_fields
     return fields
 
 

@@ -52,6 +52,7 @@ TRAJECTORY_METRICS = (
     "detector.per_request_steady.p99_us",
     "detector_naive_baseline.speedup_vs_naive",
     "device.requests_per_sec",
+    "device.per_request_steady.requests_per_sec",
     "scenario.requests_per_sec",
 )
 

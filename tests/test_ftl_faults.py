@@ -102,6 +102,7 @@ class TestInsiderRetirement:
         victim_block = old // GEOMETRY.pages_per_block
         ftl._retire_block(victim_block)
         ftl.queue.audit()
+        ftl.audit_victim_index()
         assert ftl.nand.block(victim_block).is_bad
         report = ftl.rollback(now=51.0)
         assert report.lbas_restored >= 1
@@ -130,6 +131,7 @@ class TestInsiderRetirement:
                     break
         assert retired == 2
         ftl.queue.audit()
+        ftl.audit_victim_index()
         report = ftl.rollback(now=51.0)
         assert report.lbas_restored == attacked
         for lba in range(ftl.num_lbas):
@@ -143,6 +145,7 @@ class TestInsiderRetirement:
         bad_before = ftl.stats.bad_blocks
         ftl._retire_block(block)
         assert ftl.stats.bad_blocks == bad_before
+        ftl.audit_victim_index()
 
 
 class TestFactoryMapOut:

@@ -23,6 +23,7 @@ class TestFtlRebuild:
         for lba in range(ftl.num_lbas):
             ftl.write(lba, 1.0 + lba * 0.01, b"v%d" % lba)
         rebuilt = ConventionalFTL.rebuild(nand, op_ratio=0.45)
+        rebuilt.audit_victim_index()
         for lba in range(rebuilt.num_lbas):
             assert rebuilt.read(lba).payload == b"v%d" % lba
 
@@ -70,8 +71,10 @@ class TestInsiderQueueRebuild:
         for lba in range(10):
             ftl.write(lba, 100.0 + lba * 0.01, b"evil%d" % lba)
         rebuilt = InsiderFTL.rebuild(nand, op_ratio=0.45, queue_capacity=64)
+        rebuilt.audit_victim_index()
         assert len(rebuilt.queue) >= 10
         rebuilt.rollback(now=101.0)
+        rebuilt.audit_victim_index()
         for lba in range(10):
             assert rebuilt.read(lba).payload == b"orig%d" % lba
 

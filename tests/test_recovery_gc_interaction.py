@@ -94,6 +94,7 @@ class TestRollbackAfterGcRelocation:
         churn_until_pins_move(ftl)
         assert victim_pins(ftl) != pins_before, "pins must have been moved"
         ftl.queue.audit()
+        ftl.audit_victim_index()
         assert_restored(ftl, contents)
 
     def test_audit_passes_throughout_churn(self):
@@ -104,6 +105,7 @@ class TestRollbackAfterGcRelocation:
             ftl.write(free_lbas[step % len(free_lbas)],
                       ATTACK_TIME + 0.001 * (step + 1), payload=b"x")
             ftl.queue.audit()  # must hold after every write and GC round
+            ftl.audit_victim_index()
 
 
 class TestRetirementDuringPinnedChurn:
@@ -125,6 +127,7 @@ class TestRetirementDuringPinnedChurn:
                     break
         assert bounced >= 1
         ftl.queue.audit()
+        ftl.audit_victim_index()
         # Retirement relocates pins; it must not create or destroy them,
         # and it must never count as a capacity eviction.
         assert ftl.queue.pinned_count == pinned_before
@@ -142,4 +145,5 @@ class TestRetirementDuringPinnedChurn:
         }
         ftl._retire_block(next(iter(sorted(pinned_blocks))))
         ftl.queue.audit()
+        ftl.audit_victim_index()
         assert_restored(ftl, contents)

@@ -145,3 +145,98 @@ class TestRepinAndDrain:
         # Later pushes must still respect the time-order contract.
         queue.push(entry(51, 103, 2.0))
         assert [e.lba for e in queue] == [50, 51]
+
+
+class TestRepinErrorMessage:
+    def test_message_renders_ppa_prefix_once(self):
+        """Regression: the message read "PPA PPA 42 is not pinned" because
+        the f-string prepended "PPA " to ``ppa_msg``'s own prefix."""
+        queue = RecoveryQueue()
+        with pytest.raises(ConfigError, match=r"^PPA 42 is not pinned$"):
+            queue.repin(42, 99)
+
+
+def pin_events(queue):
+    """Attach counting hooks; returns a per-PPA net pin balance."""
+    balance = {}
+
+    def on_pin(ppa):
+        balance[ppa] = balance.get(ppa, 0) + 1
+
+    def on_unpin(ppa):
+        balance[ppa] = balance.get(ppa, 0) - 1
+
+    queue.on_pin = on_pin
+    queue.on_unpin = on_unpin
+    return balance
+
+
+class TestSharedOldPpaPinLifetimes:
+    """Two entries referencing the same ``old_ppa`` over time.
+
+    The pin dict keys by PPA, so a newer entry *replaces* the older one's
+    pin.  Removal paths (capacity eviction, expiry, selective drain) must
+    only release the pin when the entry leaving is the one the pin points
+    at — an identity check, not a PPA check — or a later entry's pin
+    would be stranded or double-released.
+    """
+
+    def test_capacity_eviction_keeps_replacement_pin(self):
+        queue = RecoveryQueue(capacity=2)
+        balance = pin_events(queue)
+        queue.push(entry(1, 100, 0.0))      # pin(100) by entry A
+        queue.push(entry(2, 100, 1.0))      # replacement: no hook fires
+        queue.push(entry(3, 102, 2.0))      # evicts A; pin(100) must stay
+        assert queue.is_pinned(100)
+        assert balance[100] == 1
+        queue.audit()
+
+    def test_expiry_of_replaced_entry_keeps_pin(self):
+        queue = RecoveryQueue(retention=10.0)
+        balance = pin_events(queue)
+        queue.push(entry(1, 100, 0.0))
+        queue.push(entry(2, 100, 8.0))      # replaces the pin on 100
+        expired = queue.expire(now=11.0)    # entry A leaves, pin stays
+        assert [e.lba for e in expired] == [1]
+        assert queue.is_pinned(100)
+        assert balance[100] == 1
+        queue.audit()
+
+    def test_selective_drain_of_replaced_entry_keeps_pin(self):
+        queue = RecoveryQueue()
+        balance = pin_events(queue)
+        queue.push(entry(1, 100, 0.0))
+        queue.push(entry(2, 100, 1.0))
+        drained = queue.drain(lambda e: e.lba == 1)
+        assert [e.lba for e in drained] == [1]
+        assert queue.is_pinned(100)
+        assert balance[100] == 1
+        queue.audit()
+
+    def test_draining_the_pin_owner_releases_it(self):
+        queue = RecoveryQueue()
+        balance = pin_events(queue)
+        queue.push(entry(1, 100, 0.0))
+        queue.push(entry(2, 100, 1.0))
+        queue.drain(lambda e: e.lba == 2)   # the pin's current owner
+        assert not queue.is_pinned(100)
+        assert balance[100] == 0
+        queue.audit()
+
+    def test_full_drain_notifies_each_pin_once(self):
+        queue = RecoveryQueue()
+        balance = pin_events(queue)
+        queue.push(entry(1, 100, 0.0))
+        queue.push(entry(2, 100, 1.0))      # replacement
+        queue.push(entry(3, 102, 2.0))
+        queue.drain()
+        assert balance == {100: 0, 102: 0}
+        assert queue.pinned_count == 0
+
+    def test_repin_fires_both_hooks(self):
+        queue = RecoveryQueue()
+        balance = pin_events(queue)
+        queue.push(entry(1, 100, 0.0))
+        queue.repin(100, 200)
+        assert balance == {100: 0, 200: 1}
+        queue.audit()
