@@ -6,6 +6,11 @@ A gets infected; tenant B keeps working.  The per-namespace detector locks
 only A, and the selective rollback rewinds only A's LBA range — B's
 writes made *during* the attack survive untouched.
 
+This is the many-workloads-on-ONE-device story.  For the complementary
+many-devices story — thousands of independent seeded SSDs run as one
+population study — see ``examples/fleet_sweep.py`` and the fleet harness
+(``python -m repro.tools.fleet``, handbook in docs/fleet.md).
+
 Run:  python examples/multi_tenant.py
 """
 

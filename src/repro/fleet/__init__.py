@@ -1,0 +1,68 @@
+"""Fleet-scale simulation: thousands of seeded devices, one harness.
+
+The rest of the repository simulates *one* SSD per run; this package turns
+that single-device harness into a population study.  A :class:`FleetPlan`
+deterministically expands a fleet seed into N independent device+scenario
+runs (:class:`DeviceSpec`), :mod:`repro.fleet.worker` executes one device
+end to end (a seeded :class:`~repro.ssd.device.SimulatedSSD` replaying a
+Table I scenario), :mod:`repro.fleet.orchestrator` fans the devices out
+across a worker-process pool and streams results back, and
+:mod:`repro.fleet.report` merges the per-device records into fleet-level
+FAR / detection-latency distributions, alarm-storm timelines, and a triage
+queue.  Results travel as compact ``ssd-insider.fleetrec/v1`` binary
+records (:mod:`repro.fleet.record`) — per-run JSON does not scale to ten
+thousand devices.
+
+The whole pipeline is reproducible at every granularity: the fleet file is
+bit-identical for any ``--shards`` value, and any single device can be
+re-derived and re-run alone from the fleet seed (see ``docs/fleet.md``,
+the operator's handbook).
+"""
+
+from repro.fleet.orchestrator import (
+    FleetRunResult,
+    FleetRunSummary,
+    run_fleet,
+)
+from repro.fleet.plan import DeviceSpec, FleetPlan, ScenarioMix
+from repro.fleet.record import (
+    FLEETREC_SCHEMA,
+    decode_value,
+    dumps_record,
+    encode_value,
+    loads_record,
+    read_fleet_file,
+    write_fleet_file,
+)
+from repro.fleet.report import (
+    aggregate_registry,
+    build_report,
+    device_registry,
+    render_report,
+    triage_queue,
+)
+from repro.fleet.worker import classify_verdict, run_device, severity_of
+
+__all__ = [
+    "DeviceSpec",
+    "FLEETREC_SCHEMA",
+    "FleetPlan",
+    "FleetRunResult",
+    "FleetRunSummary",
+    "ScenarioMix",
+    "aggregate_registry",
+    "build_report",
+    "classify_verdict",
+    "decode_value",
+    "device_registry",
+    "dumps_record",
+    "encode_value",
+    "loads_record",
+    "read_fleet_file",
+    "render_report",
+    "run_device",
+    "run_fleet",
+    "severity_of",
+    "triage_queue",
+    "write_fleet_file",
+]

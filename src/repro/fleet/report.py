@@ -1,0 +1,413 @@
+"""Fleet aggregation: device records -> population distributions.
+
+The paper reports per-device numbers (Table I accuracy, Fig. 7 FAR/FRR,
+Fig. 8 latency); a fleet reports the same quantities as *distributions*
+across a device population.  This module derives, from a stream of
+``ssd-insider.fleetrec/v1`` device records:
+
+* a merged :class:`~repro.obs.metrics.MetricsRegistry` whose
+  log-histogram series (detection latency, alarm times, queue peaks) are
+  bucket-exact equal to a single pooled run — the artifact the
+  determinism oracle compares between sharded and sequential execution;
+* a JSON-ready fleet report (``ssd-insider.fleetreport/v1``): population
+  FAR/FRR, detection-latency quantiles, per-scenario and per-category
+  breakdowns, the alarm-storm timeline, and the triage queue;
+* a terminal rendering with population histograms.
+
+Records merge in **device-index order** regardless of the shard layout
+that produced them — the one rule that makes float accumulation (counter
+sums) bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.report import render_sparkline, render_table
+from repro.obs.hist import LogHistogram
+from repro.obs.metrics import MetricsRegistry
+from repro.fleet.worker import SEVERITY, severity_of
+
+#: Schema stamped into the fleet report document.
+REPORT_SCHEMA = "ssd-insider.fleetreport/v1"
+
+#: Log-histogram resolution for fleet series (~3% relative error).
+_HIST_PARAMS = {"subbuckets": 32, "min_value": 1e-3}
+
+
+def device_registry(record: Mapping[str, object]) -> MetricsRegistry:
+    """One device record as a mergeable metrics registry.
+
+    Keeping the derivation *from the record* (rather than shipping a
+    registry in the record) keeps fleet files compact and means a report
+    can always be rebuilt from the binary records alone.
+    """
+    registry = MetricsRegistry()
+    verdict = str(record.get("verdict", "clean"))
+    category = str(record.get("category", "unknown"))
+    registry.counter(
+        "fleet_devices_total", "Devices by outcome verdict.",
+        labelnames=("verdict",),
+    ).inc(verdict=verdict)
+    registry.counter(
+        "fleet_scenario_devices_total",
+        "Devices by scenario and outcome verdict.",
+        labelnames=("scenario", "verdict"),
+    ).inc(scenario=str(record.get("scenario", "?")), verdict=verdict)
+    requests = registry.counter(
+        "fleet_requests_total",
+        "Scenario requests, generated vs actually replayed "
+        "(replay stops at lockdown).",
+        labelnames=("stage",),
+    )
+    requests.inc(float(record.get("requests_total", 0) or 0),
+                 stage="generated")
+    requests.inc(float(record.get("requests_replayed", 0) or 0),
+                 stage="replayed")
+    blocks = registry.counter(
+        "fleet_blocks_total", "Logical blocks transferred, by direction.",
+        labelnames=("mode",),
+    )
+    blocks.inc(float(record.get("blocks_written", 0) or 0), mode="write")
+    blocks.inc(float(record.get("blocks_read", 0) or 0), mode="read")
+    for name, help_text, field in (
+        ("fleet_dropped_writes_total",
+         "Writes dropped by post-alarm lockdown.", "dropped_writes"),
+        ("fleet_gc_runs_total", "GC invocations.", "gc_runs"),
+        ("fleet_gc_page_copies_total", "GC page relocations.",
+         "gc_page_copies"),
+    ):
+        registry.counter(name, help_text).inc(
+            float(record.get(field, 0) or 0))
+    latency = record.get("detection_latency")
+    if latency is not None and verdict == "true_alarm":
+        registry.loghistogram(
+            "fleet_detection_latency_seconds",
+            "Sim-time from sample onset to alarm, per detected device.",
+            labelnames=("category",), **_HIST_PARAMS,
+        ).observe(float(latency), category=category)  # type: ignore[arg-type]
+    alarm_time = record.get("alarm_time")
+    if alarm_time is not None:
+        registry.loghistogram(
+            "fleet_alarm_time_seconds",
+            "Sim-time of each device's alarm (the alarm-storm timeline).",
+            labelnames=("verdict",), **_HIST_PARAMS,
+        ).observe(float(alarm_time), verdict=verdict)  # type: ignore[arg-type]
+    registry.loghistogram(
+        "fleet_queue_peak_entries",
+        "Peak recovery-queue occupancy per device.",
+        **_HIST_PARAMS,
+    ).observe(float(record.get("queue_peak", 0) or 0))
+    return registry
+
+
+def aggregate_registry(
+    records: Iterable[Mapping[str, object]],
+) -> MetricsRegistry:
+    """Merge per-device registries in device-index order.
+
+    Index-ordered merging is what makes the result bit-identical between
+    a sequential run and any sharded run: floating-point accumulation
+    happens in one canonical order.
+    """
+    merged = MetricsRegistry()
+    ordered = sorted(records, key=lambda r: int(r.get("index", 0)))  # type: ignore[arg-type]
+    for record in ordered:
+        merged.merge(device_registry(record))
+    return merged
+
+
+def triage_queue(
+    records: Iterable[Mapping[str, object]],
+    top: Optional[int] = 20,
+    include_clean: bool = False,
+) -> List[Dict[str, object]]:
+    """Rank devices worst-first for operator attention.
+
+    Severity order: ``error`` (harness failure) > ``missed`` (undetected
+    sample) > ``false_alarm`` (benign run locked down) > slow
+    ``true_alarm``; within a severity class, slower detections and later
+    alarms rank worse.  Ties break on device index so the queue itself is
+    deterministic.
+    """
+    candidates = [
+        dict(record) for record in records
+        if include_clean or severity_of(dict(record)) > 0
+    ]
+    candidates.sort(
+        key=lambda r: (
+            -severity_of(r),
+            -(float(r["detection_latency"])
+              if r.get("detection_latency") is not None else 0.0),
+            -(float(r["alarm_time"])
+              if r.get("alarm_time") is not None else 0.0),
+            int(r.get("index", 0)),  # type: ignore[arg-type]
+        )
+    )
+    if top is not None:
+        candidates = candidates[:top]
+    return [
+        {
+            "device_id": r.get("device_id"),
+            "index": r.get("index"),
+            "scenario": r.get("scenario"),
+            "category": r.get("category"),
+            "seed": r.get("seed"),
+            "benign": r.get("benign"),
+            "verdict": r.get("verdict"),
+            "severity": severity_of(r),
+            "detection_latency": r.get("detection_latency"),
+            "alarm_time": r.get("alarm_time"),
+            "score_peak": r.get("score_peak"),
+            "error": r.get("error"),
+        }
+        for r in candidates
+    ]
+
+
+def _pooled(registry: MetricsRegistry, family: str) -> LogHistogram:
+    """All series of one log-histogram family merged into one pool."""
+    pooled = LogHistogram(**_HIST_PARAMS)  # type: ignore[arg-type]
+    existing = registry.get(family)
+    if existing is None:
+        return pooled
+    for _, state in existing.series_items():
+        pooled.merge(
+            LogHistogram.from_compact(state.to_compact())  # type: ignore[attr-defined]
+        )
+    return pooled
+
+
+def _quantile_row(hist: LogHistogram) -> Dict[str, object]:
+    """Count/mean/quantile summary of one histogram."""
+    return {
+        "count": hist.count,
+        "mean": hist.mean(),
+        "p50": hist.quantile(0.50),
+        "p90": hist.quantile(0.90),
+        "p99": hist.quantile(0.99),
+        "min": hist.min,
+        "max": hist.max,
+    }
+
+
+def build_report(
+    plan_header: Mapping[str, object],
+    records: Sequence[Mapping[str, object]],
+    top_triage: int = 20,
+) -> Dict[str, object]:
+    """Aggregate device records into the fleet report document."""
+    registry = aggregate_registry(records)
+    verdicts: Dict[str, int] = {}
+    for record in records:
+        verdict = str(record.get("verdict", "clean"))
+        verdicts[verdict] = verdicts.get(verdict, 0) + 1
+    benign_runs = sum(1 for r in records if not r.get("has_ransomware")
+                      and r.get("verdict") != "error")
+    ransom_runs = sum(1 for r in records if r.get("has_ransomware"))
+    false_alarms = verdicts.get("false_alarm", 0)
+    missed = verdicts.get("missed", 0)
+    far = false_alarms / benign_runs if benign_runs else 0.0
+    frr = missed / ransom_runs if ransom_runs else 0.0
+    latency_pool = _pooled(registry, "fleet_detection_latency_seconds")
+    latency_family = registry.get("fleet_detection_latency_seconds")
+    by_category: Dict[str, Dict[str, object]] = {}
+    categories = sorted({str(r.get("category", "unknown")) for r in records})
+    for category in categories:
+        members = [r for r in records
+                   if str(r.get("category", "unknown")) == category]
+        cat_benign = [r for r in members if not r.get("has_ransomware")
+                      and r.get("verdict") != "error"]
+        cat_ransom = [r for r in members if r.get("has_ransomware")]
+        cat_false = sum(1 for r in cat_benign
+                        if r.get("verdict") == "false_alarm")
+        cat_missed = sum(1 for r in cat_ransom
+                         if r.get("verdict") == "missed")
+        row: Dict[str, object] = {
+            "devices": len(members),
+            "benign_runs": len(cat_benign),
+            "ransomware_runs": len(cat_ransom),
+            "false_alarms": cat_false,
+            "missed": cat_missed,
+            "far": cat_false / len(cat_benign) if cat_benign else 0.0,
+            "frr": cat_missed / len(cat_ransom) if cat_ransom else 0.0,
+        }
+        if (latency_family is not None
+                and latency_family.count(category=category)):  # type: ignore[attr-defined]
+            row["latency"] = _quantile_row(
+                latency_family.series(category=category))  # type: ignore[attr-defined]
+        by_category[category] = row
+    by_scenario: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        name = str(record.get("scenario", "?"))
+        row_counts = by_scenario.setdefault(
+            name, {v: 0 for v in SEVERITY})
+        row_counts[str(record.get("verdict", "clean"))] += 1
+    timeline: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        alarm_time = record.get("alarm_time")
+        if alarm_time is None:
+            continue
+        second = str(int(float(alarm_time)))  # type: ignore[arg-type]
+        bucket = timeline.setdefault(second, {"true_alarm": 0,
+                                              "false_alarm": 0})
+        verdict = str(record.get("verdict"))
+        if verdict in bucket:
+            bucket[verdict] += 1
+    return {
+        "schema": REPORT_SCHEMA,
+        "plan": {k: v for k, v in plan_header.items()
+                 if k not in ("schema", "kind")},
+        "population": {
+            "devices": len(records),
+            "verdicts": dict(sorted(verdicts.items())),
+            "benign_runs": benign_runs,
+            "ransomware_runs": ransom_runs,
+            "far": far,
+            "frr": frr,
+        },
+        "detection_latency": _quantile_row(latency_pool),
+        "detection_latency_hist": latency_pool.to_compact(),
+        "far_alarm_time_hist": _series_hist(
+            registry, "fleet_alarm_time_seconds", verdict="false_alarm"),
+        "by_category": by_category,
+        "by_scenario": {k: by_scenario[k] for k in sorted(by_scenario)},
+        "alarm_timeline": {k: timeline[k]
+                           for k in sorted(timeline, key=int)},
+        "triage": triage_queue(records, top=top_triage),
+        "metrics": registry.to_compact(),
+    }
+
+
+def _series_hist(
+    registry: MetricsRegistry, family: str, **labels: object
+) -> Dict[str, object]:
+    """Compact form of one labeled series (empty hist when absent)."""
+    existing = registry.get(family)
+    if existing is None or not existing.count(**labels):  # type: ignore[attr-defined]
+        return LogHistogram(**_HIST_PARAMS).to_compact()  # type: ignore[arg-type]
+    return existing.series(**labels).to_compact()  # type: ignore[attr-defined]
+
+
+def _histogram_rows(
+    hist: LogHistogram, max_rows: int = 12, bar_width: int = 32
+) -> List[Tuple[str, int, str]]:
+    """Occupied buckets coalesced into at most ``max_rows`` bar rows."""
+    occupied = list(hist.occupied_buckets())
+    if hist.zero_count:
+        occupied.insert(0, (-1, hist.zero_count))
+    if not occupied:
+        return []
+    groups: List[List[Tuple[int, int]]] = []
+    per_group = max(1, (len(occupied) + max_rows - 1) // max_rows)
+    for start in range(0, len(occupied), per_group):
+        groups.append(occupied[start:start + per_group])
+    peak = max(sum(count for _, count in group) for group in groups)
+    rows: List[Tuple[str, int, str]] = []
+    for group in groups:
+        count = sum(c for _, c in group)
+        low_index, high_index = group[0][0], group[-1][0]
+        lower = 0.0 if low_index < 0 else hist.bucket_bounds(low_index)[0]
+        upper = hist.bucket_bounds(high_index)[1] if high_index >= 0 else \
+            hist.min_value
+        label = f"{lower:8.3f} .. {upper:8.3f}"
+        bar = "#" * max(1, int(count / peak * bar_width)) if count else ""
+        rows.append((label, count, bar))
+    return rows
+
+
+def render_report(report: Mapping[str, object]) -> str:
+    """Terminal rendering of a fleet report document."""
+    population = report["population"]  # type: ignore[index]
+    plan = report.get("plan", {})  # type: ignore[union-attr]
+    lines = [
+        "fleet report "
+        f"({population['devices']} devices, seed {plan.get('seed')}, "  # type: ignore[index]
+        f"mix {_short_mix(str(plan.get('mix', '?')))})",  # type: ignore[union-attr]
+        "",
+        f"population FAR:  {population['far']:.2%}  "  # type: ignore[index]
+        f"({population['verdicts'].get('false_alarm', 0)}"  # type: ignore[index]
+        f"/{population['benign_runs']} benign runs alarmed)",  # type: ignore[index]
+        f"population FRR:  {population['frr']:.2%}  "  # type: ignore[index]
+        f"({population['verdicts'].get('missed', 0)}"  # type: ignore[index]
+        f"/{population['ransomware_runs']} samples missed)",  # type: ignore[index]
+    ]
+    latency = report["detection_latency"]  # type: ignore[index]
+    if latency["count"]:  # type: ignore[index]
+        lines.append(
+            f"detection latency (s): "
+            f"p50 {latency['p50']:.2f}  p90 {latency['p90']:.2f}  "  # type: ignore[index]
+            f"p99 {latency['p99']:.2f}  max {latency['max']:.2f}  "  # type: ignore[index]
+            f"over {latency['count']} detections"  # type: ignore[index]
+        )
+        hist = LogHistogram.from_compact(
+            report["detection_latency_hist"])  # type: ignore[arg-type, index]
+        lines.append("")
+        lines.append("detection-latency distribution (s):")
+        for label, count, bar in _histogram_rows(hist):
+            lines.append(f"  {label}  {count:6d}  {bar}")
+    lines.append("")
+    lines.append("verdicts:")
+    verdict_rows = [
+        (name, count)
+        for name, count in sorted(
+            population["verdicts"].items())  # type: ignore[index]
+    ]
+    lines.append(_indent(render_table(("verdict", "devices"), verdict_rows)))
+    lines.append("")
+    lines.append("per category:")
+    category_rows = []
+    for category, row in report["by_category"].items():  # type: ignore[index, union-attr]
+        latency_cell = "-"
+        if "latency" in row:
+            latency_cell = (f"{row['latency']['p50']:.2f}/"
+                            f"{row['latency']['p99']:.2f}")
+        category_rows.append(
+            (category, row["devices"], f"{row['far']:.2%}",
+             f"{row['frr']:.2%}", latency_cell)
+        )
+    lines.append(_indent(render_table(
+        ("category", "devices", "FAR", "FRR", "latency p50/p99 (s)"),
+        category_rows,
+    )))
+    timeline = report.get("alarm_timeline", {})  # type: ignore[union-attr]
+    if timeline:
+        seconds = [int(s) for s in timeline]
+        span = range(min(seconds), max(seconds) + 1)
+        series = [
+            timeline.get(str(s), {}).get("true_alarm", 0)  # type: ignore[union-attr]
+            + timeline.get(str(s), {}).get("false_alarm", 0)  # type: ignore[union-attr]
+            for s in span
+        ]
+        lines.append("")
+        lines.append(
+            f"alarm storm timeline (sim s {span.start}..{span.stop - 1}, "
+            f"peak {max(series)} alarms/s):"
+        )
+        lines.append("  " + render_sparkline(series))
+    triage = report.get("triage", ())  # type: ignore[union-attr]
+    if triage:
+        lines.append("")
+        lines.append(f"triage queue (top {len(triage)}, worst first):")
+        triage_rows = [
+            (
+                entry["device_id"], entry["verdict"], entry["scenario"],
+                "-" if entry["detection_latency"] is None
+                else f"{entry['detection_latency']:.2f}s",
+                (entry["error"] or "")[:48],
+            )
+            for entry in triage
+        ]
+        lines.append(_indent(render_table(
+            ("device", "verdict", "scenario", "latency", "error"),
+            triage_rows,
+        )))
+    return "\n".join(lines)
+
+
+def _short_mix(mix: str, limit: int = 40) -> str:
+    return mix if len(mix) <= limit else mix[:limit - 3] + "..."
+
+
+def _indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())

@@ -1,0 +1,259 @@
+"""One fleet device, end to end: build, replay, classify, record.
+
+:func:`run_device` is the unit the orchestrator fans out: it realises a
+:class:`~repro.fleet.plan.DeviceSpec` into a seeded scenario trace,
+replays it through a full :class:`~repro.ssd.device.SimulatedSSD`
+(detector in the data path, lockdown on alarm), classifies the outcome
+into one of the fleet verdicts, and returns a plain-dict device record
+ready for ``ssd-insider.fleetrec/v1`` encoding.
+
+Every field of the record is derived from *simulated* state — sim-time
+latencies, deterministic counters — never from wall clocks, so the same
+spec always yields the same record bytes.  Wall time is measured by the
+orchestrator around the whole fleet and reported separately (the
+devices/sec table in ``docs/fleet.md``), precisely so it can never leak
+into the determinism-gated artifacts.
+
+A device that *fails* — unknown scenario name, workload bug, anything —
+does not sink the fleet: :func:`run_device` contains the exception and
+returns an error record (``verdict: "error"``), which is itself
+deterministic and ranked at the top of the triage queue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.fleet.plan import DeviceSpec, FleetPlan, scenario_category
+from repro.fleet.record import FLEETREC_SCHEMA
+from repro.nand.geometry import NandGeometry
+from repro.obs import Observability
+from repro.obs.flightrec import FlightRecorder
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SimulatedSSD
+
+#: The fleet's outcome taxonomy, in ascending severity order.
+VERDICTS = ("clean", "true_alarm", "false_alarm", "missed", "error")
+
+#: Triage severity per verdict (higher = worse; see docs/fleet.md).
+SEVERITY = {
+    "clean": 0,
+    "true_alarm": 1,
+    "false_alarm": 2,
+    "missed": 3,
+    "error": 4,
+}
+
+
+#: Over-provisioning share of fleet devices.  Generous on purpose: the
+#: Table I heavy-overwrite scenarios (iometer, datawiping, install) can
+#: rewrite the whole span inside the 10-second retention window, and the
+#: recovery queue pins those old versions against GC — a thin-OP device
+#: runs out of free blocks mid-scenario.
+FLEET_OP_RATIO = 0.25
+
+
+def device_geometry(num_lbas: int) -> NandGeometry:
+    """The smallest standard fleet geometry covering ``num_lbas``.
+
+    Deterministic in ``num_lbas`` alone: 2 channels x 2 ways x 64-page
+    blocks, with blocks-per-chip sized so the logical capacity (after
+    the :data:`FLEET_OP_RATIO` over-provisioning share) covers the
+    scenario span with two spare erase blocks of slack for GC.
+    """
+    channels, ways, pages_per_block = 2, 2, 64
+    pages_needed = num_lbas / (1.0 - FLEET_OP_RATIO)
+    per_chip_pages = channels * ways * pages_per_block
+    blocks = int(pages_needed // per_chip_pages) + 1
+    while blocks * per_chip_pages * (1.0 - FLEET_OP_RATIO) < num_lbas:
+        blocks += 1
+    return NandGeometry(
+        channels=channels,
+        ways=ways,
+        blocks_per_chip=blocks + 2,
+        pages_per_block=pages_per_block,
+    )
+
+
+def build_device(
+    plan: FleetPlan, flight: bool = False
+) -> SimulatedSSD:
+    """Assemble one fleet device (optionally with the flight recorder).
+
+    The un-instrumented default is what fleet runs use — observability
+    adds wall-clock samples that have no place in a determinism-gated
+    record.  ``flight=True`` arms the black box for on-demand incident
+    cutting (``fleet triage --cut-incidents``); PR 4's read-only guarantee
+    means the armed replay takes identical decisions.
+    """
+    obs = Observability.on(flight=FlightRecorder()) if flight else None
+    return SimulatedSSD(
+        SSDConfig(
+            geometry=device_geometry(plan.num_lbas),
+            op_ratio=FLEET_OP_RATIO,
+            queue_capacity=plan.queue_capacity,
+        ),
+        obs=obs,
+    )
+
+
+def classify_verdict(
+    has_ransomware: bool, alarm_raised: bool, error: Optional[str]
+) -> str:
+    """Map one device outcome onto the fleet verdict taxonomy."""
+    if error is not None:
+        return "error"
+    if has_ransomware:
+        return "true_alarm" if alarm_raised else "missed"
+    return "false_alarm" if alarm_raised else "clean"
+
+
+def severity_of(record: Dict[str, object]) -> int:
+    """Triage severity of a device record (higher = worse)."""
+    return SEVERITY.get(str(record.get("verdict")), 0)
+
+
+def run_device(
+    plan: FleetPlan,
+    spec: DeviceSpec,
+    flight: bool = False,
+) -> Tuple[Dict[str, object], Optional[Dict[str, object]]]:
+    """Run one device; returns ``(record, incident_bundle_or_None)``.
+
+    The record is deterministic in ``(plan, spec)``.  An incident bundle
+    (``ssd-insider.incident/v1``) is cut only when ``flight=True`` —
+    fleet runs keep records compact and re-derive bundles on demand.
+    """
+    try:
+        return _run_device_impl(plan, spec, flight)
+    except Exception as exc:  # noqa: BLE001 - containment is the contract
+        record = _base_record(plan, spec)
+        record["error"] = f"{type(exc).__name__}: {exc}"
+        record["verdict"] = classify_verdict(False, False, record["error"])
+        return record, None
+
+
+def _base_record(plan: FleetPlan, spec: DeviceSpec) -> Dict[str, object]:
+    """The field skeleton every device record shares (docs/fleet.md)."""
+    return {
+        "schema": FLEETREC_SCHEMA,
+        "kind": "device",
+        "index": spec.index,
+        "device_id": spec.device_id,
+        "scenario": spec.scenario,
+        "category": scenario_category(spec.scenario),
+        "seed": spec.seed,
+        "benign": spec.benign,
+        "has_ransomware": False,
+        "onset": None,
+        "duration": plan.duration,
+        "num_lbas": plan.num_lbas,
+        "requests_total": 0,
+        "requests_replayed": 0,
+        "blocks_written": 0,
+        "blocks_read": 0,
+        "alarm_raised": False,
+        "alarm_time": None,
+        "detection_latency": None,
+        "score_peak": 0,
+        "slices_closed": 0,
+        "dropped_writes": 0,
+        "gc_runs": 0,
+        "gc_page_copies": 0,
+        "queue_peak": 0,
+        "error": None,
+        "verdict": "clean",
+    }
+
+
+def _run_device_impl(
+    plan: FleetPlan, spec: DeviceSpec, flight: bool
+) -> Tuple[Dict[str, object], Optional[Dict[str, object]]]:
+    record = _base_record(plan, spec)
+    scenario = plan.mix.resolve(spec.scenario)
+    run = scenario.build(
+        seed=spec.seed,
+        num_lbas=plan.num_lbas,
+        duration=plan.duration,
+        include_ransomware=not spec.benign,
+    )
+    device = build_device(plan, flight=flight)
+    if device.fr is not None:
+        device.fr.set_context(
+            device_id=spec.device_id,
+            scenario=spec.scenario,
+            seed=spec.seed,
+            attack_onset=run.onset if run.onset is not None else 0.0,
+        )
+    replayed = queue_peak = 0
+    blocks_written = blocks_read = 0
+    for request in run.trace:
+        device.submit(request)
+        replayed += 1
+        if request.is_write:
+            blocks_written += request.length
+        else:
+            blocks_read += request.length
+        depth = len(device.ftl.queue)
+        if depth > queue_peak:
+            queue_peak = depth
+        if device.alarm_raised:
+            # Lockdown: the paper's firmware goes read-only, so the rest
+            # of the trace could only be dropped writes.  Stop replaying
+            # (the alarm time and latency are already determined).
+            break
+    device.tick(plan.duration)
+    alarm_event = (
+        device.detector.alarm_event if device.detector is not None else None
+    )
+    alarm_time = alarm_event.time if alarm_event is not None else None
+    detection_latency = None
+    if alarm_time is not None and run.has_ransomware and run.onset is not None:
+        detection_latency = max(0.0, alarm_time - run.onset)
+    events = device.detector.events if device.detector is not None else []
+    record.update(
+        has_ransomware=run.has_ransomware,
+        onset=run.onset,
+        requests_total=len(run.trace),
+        requests_replayed=replayed,
+        blocks_written=blocks_written,
+        blocks_read=blocks_read,
+        alarm_raised=alarm_time is not None,
+        alarm_time=alarm_time,
+        detection_latency=detection_latency,
+        score_peak=max((event.score for event in events), default=0),
+        slices_closed=len(events),
+        dropped_writes=device.stats.dropped_writes,
+        gc_runs=device.ftl.stats.gc_runs,
+        gc_page_copies=device.ftl.stats.gc_page_copies,
+        queue_peak=queue_peak,
+    )
+    record["verdict"] = classify_verdict(
+        run.has_ransomware, record["alarm_raised"], None  # type: ignore[arg-type]
+    )
+    incident: Optional[Dict[str, object]] = None
+    if flight:
+        incident = (
+            device.incidents[0] if device.incidents
+            else device.snapshot_incident("fleet_triage")
+        )
+    return record, incident
+
+
+# -- worker-pool plumbing (multiprocessing entry points) --------------------
+
+_POOL_PLAN: Optional[FleetPlan] = None
+
+
+def pool_init(plan_payload: Dict[str, object]) -> None:
+    """Pool initializer: rebuild the plan once per worker process."""
+    global _POOL_PLAN
+    _POOL_PLAN = FleetPlan.from_dict(plan_payload)
+
+
+def pool_run(index: int) -> Dict[str, object]:
+    """Pool task: derive and run device ``index`` under the worker plan."""
+    assert _POOL_PLAN is not None, "pool_init must run first"
+    spec = _POOL_PLAN.device_spec(index)
+    record, _ = run_device(_POOL_PLAN, spec)
+    return record

@@ -1,0 +1,281 @@
+"""Fleet-scale simulation from the command line.
+
+The operator's handbook for everything below is ``docs/fleet.md``.
+
+Example session::
+
+    # run 500 devices across 8 worker processes
+    python -m repro.tools.fleet run --devices 500 --shards 8 --seed 7 \\
+        --out results/FLEET.fleetrec
+
+    # population FAR / detection-latency distributions
+    python -m repro.tools.fleet report results/FLEET.fleetrec
+
+    # worst devices first; cut incident bundles for the top 5
+    python -m repro.tools.fleet triage results/FLEET.fleetrec --top 5 \\
+        --cut-incidents results/incidents/
+
+    # re-derive and re-run one device from the fleet seed, verify its
+    # record bit-for-bit
+    python -m repro.tools.fleet replay results/FLEET.fleetrec --device 7f3
+
+Exit status: 0 on success; 2 on bad arguments; 5 when ``run --oracle``
+finds a sharded/sequential divergence or ``replay`` finds a record
+mismatch (both indicate a determinism bug worth reporting).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.fleet.orchestrator import run_fleet
+from repro.fleet.plan import (
+    DEFAULT_BENIGN_FRACTION,
+    DEFAULT_DURATION,
+    DEFAULT_NUM_LBAS,
+    FleetPlan,
+    ScenarioMix,
+)
+from repro.fleet.record import read_fleet_file
+from repro.fleet.report import (
+    aggregate_registry,
+    build_report,
+    render_report,
+    triage_queue,
+)
+from repro.fleet.worker import run_device
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (subcommands run/report/triage/replay)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.fleet",
+        description="Simulate a fleet of SSD-Insider devices and report "
+                    "population-level outcomes (see docs/fleet.md).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = commands.add_parser(
+        "run", help="run a fleet and write the binary record file")
+    run_cmd.add_argument("--devices", type=int, default=100,
+                         help="fleet size (default 100)")
+    run_cmd.add_argument("--shards", type=int, default=1,
+                         help="worker processes (1 = in-process, the "
+                              "determinism reference)")
+    run_cmd.add_argument("--seed", type=int, default=0,
+                         help="the fleet seed every device derives from")
+    run_cmd.add_argument("--scenario-mix", default="testing",
+                         help="preset (testing/training/all) or "
+                              "name:weight,... list (default testing)")
+    run_cmd.add_argument("--benign-fraction", type=float,
+                         default=DEFAULT_BENIGN_FRACTION,
+                         help="share of app-bearing devices run benign "
+                              "for FAR measurement (default 0.5)")
+    run_cmd.add_argument("--num-lbas", type=int, default=DEFAULT_NUM_LBAS,
+                         help="logical span per device in 4-KB blocks")
+    run_cmd.add_argument("--duration", type=float, default=DEFAULT_DURATION,
+                         help="per-device simulated seconds (default 30)")
+    run_cmd.add_argument("--out", metavar="FILE",
+                         default="results/FLEET.fleetrec",
+                         help="fleet record file to write")
+    run_cmd.add_argument("--report-out", metavar="FILE", default=None,
+                         help="also write the fleet report JSON here")
+    run_cmd.add_argument("--oracle", action="store_true",
+                         help="after a sharded run, re-run sequentially "
+                              "and fail unless records and merged "
+                              "metrics are bit-identical")
+    run_cmd.add_argument("--quiet", action="store_true",
+                         help="suppress per-device progress")
+
+    report_cmd = commands.add_parser(
+        "report", help="render population distributions from a fleet file")
+    report_cmd.add_argument("fleetrec", help="fleet record file")
+    report_cmd.add_argument("--json", metavar="FILE", default=None,
+                            help="write the full report document as JSON")
+    report_cmd.add_argument("--top", type=int, default=10,
+                            help="triage entries to include (default 10)")
+
+    triage_cmd = commands.add_parser(
+        "triage", help="rank the worst devices and optionally cut "
+                       "incident bundles for them")
+    triage_cmd.add_argument("fleetrec", help="fleet record file")
+    triage_cmd.add_argument("--top", type=int, default=20,
+                            help="queue length (default 20)")
+    triage_cmd.add_argument("--cut-incidents", metavar="DIR", default=None,
+                            help="re-run each listed device with the "
+                                 "flight recorder armed and write its "
+                                 "ssd-insider.incident/v1 bundle here")
+
+    replay_cmd = commands.add_parser(
+        "replay", help="re-derive one device from the fleet seed, re-run "
+                       "it, and verify its record bit-for-bit")
+    replay_cmd.add_argument("fleetrec", help="fleet record file")
+    replay_cmd.add_argument("--device", required=True, metavar="ID",
+                            help="device id (or unique prefix) to replay")
+    return parser
+
+
+def _progress(done: int, total: int, record: Dict[str, object]) -> None:
+    """One status line per completed device (overwritten in place)."""
+    line = (f"\r[{done}/{total}] {record.get('device_id')} "
+            f"{str(record.get('verdict')):<11}")
+    sys.stderr.write(line)
+    if done == total:
+        sys.stderr.write("\n")
+    sys.stderr.flush()
+
+
+def _registry_fingerprint(records: List[Dict[str, object]]) -> str:
+    """Canonical JSON of the merged registry (the oracle's comparand)."""
+    return json.dumps(
+        aggregate_registry(records).to_compact(), sort_keys=True
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    plan = FleetPlan(
+        devices=args.devices,
+        seed=args.seed,
+        mix=ScenarioMix.parse(args.scenario_mix),
+        benign_fraction=args.benign_fraction,
+        num_lbas=args.num_lbas,
+        duration=args.duration,
+    )
+    plan.validate()
+    result = run_fleet(
+        plan,
+        shards=args.shards,
+        out_path=args.out,
+        progress=None if args.quiet else _progress,
+    )
+    summary = result.summary
+    print(f"fleet: {summary.devices} devices / {summary.shards} shard(s) "
+          f"in {summary.wall_seconds:.1f}s "
+          f"({summary.devices_per_sec:.1f} devices/s)")
+    print(f"verdicts: {dict(sorted(summary.verdicts.items()))}")
+    print(f"records: {args.out}")
+    if args.oracle and args.shards > 1:
+        reference = run_fleet(plan, shards=1)
+        same_records = reference.records == result.records
+        same_metrics = (_registry_fingerprint(reference.records)
+                        == _registry_fingerprint(result.records))
+        print(f"oracle: records identical: {same_records}, "
+              f"merged metrics identical: {same_metrics}")
+        if not (same_records and same_metrics):
+            print("oracle: sharded execution diverged from sequential — "
+                  "this is a determinism bug", file=sys.stderr)
+            return 5
+    elif args.oracle:
+        print("oracle: --shards 1 is the reference itself; nothing to "
+              "compare")
+    if args.report_out is not None:
+        report = build_report(plan.to_dict(), result.records)
+        report["run"] = summary.to_dict()
+        path = Path(args.report_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"report: {args.report_out}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    header, records = read_fleet_file(args.fleetrec)
+    report = build_report(header, records, top_triage=args.top)
+    print(render_report(report))
+    if args.json is not None:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"\nreport JSON: {args.json}")
+    return 0
+
+
+def _cmd_triage(args: argparse.Namespace) -> int:
+    header, records = read_fleet_file(args.fleetrec)
+    plan = FleetPlan.from_dict(header)
+    queue = triage_queue(records, top=args.top)
+    if not queue:
+        print("triage queue is empty — no anomalous devices")
+        return 0
+    for rank, entry in enumerate(queue, start=1):
+        latency = ("-" if entry["detection_latency"] is None
+                   else f"{entry['detection_latency']:.2f}s")
+        detail = entry["error"] or f"latency {latency}"
+        print(f"{rank:3d}. [{entry['severity']}] {entry['device_id']}  "
+              f"{entry['verdict']:<11} {entry['scenario']}  {detail}")
+        print(f"     repro: python -m repro.tools.fleet replay "
+              f"{args.fleetrec} --device {entry['device_id']}")
+    if args.cut_incidents is not None:
+        out_dir = Path(args.cut_incidents)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for entry in queue:
+            spec = plan.find_device(str(entry["device_id"]))
+            _, incident = run_device(plan, spec, flight=True)
+            bundle_path = out_dir / f"INCIDENT_{spec.device_id}.json"
+            with open(bundle_path, "w", encoding="utf-8") as handle:
+                json.dump(incident, handle, indent=2)
+            print(f"incident: {bundle_path}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    header, records = read_fleet_file(args.fleetrec)
+    plan = FleetPlan.from_dict(header)
+    spec = plan.find_device(args.device)
+    recorded: Optional[Dict[str, object]] = None
+    for record in records:
+        if record.get("index") == spec.index:
+            recorded = record
+            break
+    fresh, _ = run_device(plan, spec)
+    print(f"device {spec.device_id} (index {spec.index}): "
+          f"scenario {spec.scenario}, seed {spec.seed}, "
+          f"{'benign' if spec.benign else 'ransomware'}")
+    print(f"re-run verdict: {fresh['verdict']}"
+          + (f", detection latency {fresh['detection_latency']:.2f}s"
+             if fresh["detection_latency"] is not None else ""))
+    if recorded is None:
+        print("no record for this device in the fleet file "
+              "(fleet ran with different parameters?)", file=sys.stderr)
+        return 5
+    if fresh == recorded:
+        print("record match: re-run reproduced the fleet record "
+              "bit-for-bit")
+        return 0
+    differing = sorted(
+        key for key in set(fresh) | set(recorded)
+        if fresh.get(key) != recorded.get(key)
+    )
+    print(f"record MISMATCH in fields: {', '.join(differing)}",
+          file=sys.stderr)
+    for key in differing:
+        print(f"  {key}: recorded {recorded.get(key)!r} "
+              f"vs re-run {fresh.get(key)!r}", file=sys.stderr)
+    return 5
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "report": _cmd_report,
+        "triage": _cmd_triage,
+        "replay": _cmd_replay,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,139 @@
+"""The fleet CLI: every flag documented in docs/fleet.md, exercised."""
+
+import json
+
+import pytest
+
+from repro.fleet.record import read_fleet_file
+from repro.tools import fleet
+
+
+@pytest.fixture(scope="module")
+def fleet_file(tmp_path_factory):
+    """One golden 8-device CLI run shared by the module's tests.
+
+    Exercises: run --devices --shards --seed --scenario-mix
+    --benign-fraction --num-lbas --duration --out --report-out --quiet.
+    """
+    root = tmp_path_factory.mktemp("fleetcli")
+    out = root / "fleet.fleetrec"
+    report = root / "report.json"
+    code = fleet.main([
+        "run", "--devices", "8", "--shards", "1", "--seed", "7",
+        "--scenario-mix", "test-ransom-only,test-outlooksync-mole",
+        "--benign-fraction", "0.5", "--num-lbas", "4000",
+        "--duration", "10", "--out", str(out),
+        "--report-out", str(report), "--quiet",
+    ])
+    assert code == 0
+    return out, report
+
+
+class TestRun:
+    def test_writes_fleet_file_and_report(self, fleet_file, capsys):
+        out, report = fleet_file
+        capsys.readouterr()
+        header, records = read_fleet_file(out)
+        assert len(records) == 8
+        assert header["seed"] == 7
+        document = json.loads(report.read_text(encoding="utf-8"))
+        assert document["schema"] == "ssd-insider.fleetreport/v1"
+        assert document["population"]["devices"] == 8
+        assert document["run"]["shards"] == 1
+        assert document["run"]["devices_per_sec"] > 0
+
+    def test_oracle_passes_on_sharded_run(self, tmp_path, capsys):
+        """run --oracle: sharded must match the sequential reference."""
+        out = tmp_path / "oracle.fleetrec"
+        code = fleet.main([
+            "run", "--devices", "4", "--shards", "2", "--seed", "3",
+            "--scenario-mix", "test-ransom-only", "--num-lbas", "4000",
+            "--duration", "10", "--out", str(out), "--oracle", "--quiet",
+        ])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "records identical: True" in captured
+        assert "merged metrics identical: True" in captured
+
+    def test_oracle_on_sequential_run_is_a_noop(self, tmp_path, capsys):
+        out = tmp_path / "seq.fleetrec"
+        code = fleet.main([
+            "run", "--devices", "1", "--shards", "1", "--seed", "3",
+            "--scenario-mix", "test-ransom-only", "--num-lbas", "4000",
+            "--duration", "10", "--out", str(out), "--oracle", "--quiet",
+        ])
+        assert code == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_unknown_scenario_fails_fast(self, tmp_path, capsys):
+        """Operator typos are caught up front (exit 2), not smeared
+        across N error records."""
+        code = fleet.main([
+            "run", "--devices", "2", "--scenario-mix", "no-such",
+            "--out", str(tmp_path / "x.fleetrec"), "--quiet",
+        ])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown scenario" in captured.err
+
+
+class TestReport:
+    def test_renders_population_report(self, fleet_file, capsys):
+        out, _ = fleet_file
+        code = fleet.main(["report", str(out), "--top", "3"])
+        rendered = capsys.readouterr().out
+        assert code == 0
+        assert "population FAR" in rendered
+        assert "population FRR" in rendered
+        assert "per category" in rendered
+        assert "triage queue" in rendered
+
+    def test_json_out(self, fleet_file, tmp_path, capsys):
+        out, _ = fleet_file
+        path = tmp_path / "report.json"
+        code = fleet.main(["report", str(out), "--json", str(path)])
+        capsys.readouterr()
+        assert code == 0
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["population"]["devices"] == 8
+        assert "metrics" in document
+
+
+class TestTriage:
+    def test_queue_lists_repro_commands(self, fleet_file, capsys):
+        out, _ = fleet_file
+        code = fleet.main(["triage", str(out), "--top", "5"])
+        rendered = capsys.readouterr().out
+        assert code == 0
+        assert "repro: python -m repro.tools.fleet replay" in rendered
+
+    def test_cut_incidents_writes_bundles(self, fleet_file, tmp_path,
+                                          capsys):
+        out, _ = fleet_file
+        incidents_dir = tmp_path / "incidents"
+        code = fleet.main(["triage", str(out), "--top", "1",
+                           "--cut-incidents", str(incidents_dir)])
+        capsys.readouterr()
+        assert code == 0
+        bundles = list(incidents_dir.glob("INCIDENT_*.json"))
+        assert len(bundles) == 1
+        bundle = json.loads(bundles[0].read_text(encoding="utf-8"))
+        assert bundle["schema"] == "ssd-insider.incident/v1"
+
+
+class TestReplay:
+    def test_replay_matches_record_bit_for_bit(self, fleet_file, capsys):
+        out, _ = fleet_file
+        _, records = read_fleet_file(out)
+        device_id = str(records[2]["device_id"])
+        code = fleet.main(["replay", str(out), "--device", device_id[:6]])
+        rendered = capsys.readouterr().out
+        assert code == 0
+        assert "record match" in rendered
+
+    def test_unknown_device_exits_2(self, fleet_file, capsys):
+        out, _ = fleet_file
+        code = fleet.main(["replay", str(out), "--device", "zzzz"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no device" in captured.err
