@@ -7,6 +7,7 @@ run when a physical page is superseded and in what GC is allowed to reclaim.
 
 from __future__ import annotations
 
+from time import perf_counter_ns
 from typing import Optional
 
 from repro.errors import (
@@ -20,7 +21,7 @@ from repro.errors import (
 )
 from repro.ftl.allocator import BlockAllocator
 from repro.ftl.gc import GcPolicy
-from repro.ftl.mapping import MappingTable
+from repro.ftl.mapping import UNMAPPED, create_mapping_table
 from repro.ftl.stats import FtlStats
 from repro.ftl.victim_index import VictimIndex
 from repro.nand.array import NandArray
@@ -38,6 +39,8 @@ class PageMappedFTL:
         gc_policy: Trigger/target free-block thresholds for GC.
         obs: Observability bundle (GC spans, victim instants, page-copy
             counters); disabled by default.
+        mapping_backend: Translation-table backend name (``"flat"`` or
+            ``"dict"``; see :mod:`repro.ftl.mapping`).
     """
 
     def __init__(
@@ -46,6 +49,7 @@ class PageMappedFTL:
         op_ratio: float = 0.125,
         gc_policy: Optional[GcPolicy] = None,
         obs: Optional[Observability] = None,
+        mapping_backend: str = "flat",
     ) -> None:
         if not (0.0 < op_ratio < 1.0):
             raise ConfigError(f"op_ratio must be in (0, 1), got {op_ratio}")
@@ -64,13 +68,26 @@ class PageMappedFTL:
                 f"blocks ({3 * nand.geometry.pages_per_block} pages); greedy "
                 f"GC cannot run safely — raise op_ratio or enlarge the array"
             )
-        self.mapping = MappingTable(num_lbas)
+        self.mapping = create_mapping_table(
+            mapping_backend, num_lbas, num_ppas=nand.geometry.pages_total
+        )
+        #: Direct (forward, reverse) array references for inline span
+        #: translation — flat backend only, None otherwise — and the
+        #: logical bound the inline paths check against.
+        self._map_refs = (
+            self.mapping.span_refs()
+            if hasattr(self.mapping, "span_refs") else None
+        )
+        self._lba_limit = num_lbas
         self.allocator = BlockAllocator(nand)
         #: Incrementally maintained victim index: GC selection and
         #: completion checks read it instead of scanning the array.  The
-        #: NAND array reports every page-accounting change back to it.
+        #: NAND array reports every page-accounting change back to it —
+        #: through the deferred ``note`` hook, so the write hot path pays
+        #: a set-add per event and the bucket re-file happens once per
+        #: dirty block at the next GC selection.
         self.victim_index = VictimIndex(nand)
-        nand.block_listener = self.victim_index.touch
+        nand.block_listener = self.victim_index.note
         self.stats = FtlStats()
         self.obs = obs if obs is not None else Observability.off()
         #: Cached profiler handle (None disarmed); the read/write/trim
@@ -78,7 +95,7 @@ class PageMappedFTL:
         self._prof = self.obs.profiler
         self._m_gc_copies = None
         self._m_erases = None
-        if self.obs.enabled:
+        if self.obs.armed_metrics:
             metrics = self.obs.metrics
             self._m_gc_copies = metrics.counter(
                 "ftl_gc_page_copies_total",
@@ -90,6 +107,13 @@ class PageMappedFTL:
                 "ftl_erases_total", "Block erases completed."
             )
         self._last_timestamp = 0.0
+        #: True while write_span() is iterating: supersede hooks switch
+        #: from opening a per-block profiler section to accumulating a
+        #: raw clock pair into the span counters below, folded into the
+        #: tree once per request via LayerProfiler.add().
+        self._in_span = False
+        self._span_queue_ns = 0
+        self._span_queue_calls = 0
         #: Optional static wear leveler (attach_wear_leveling()); checked
         #: after each GC round.
         self.wear_leveler = None
@@ -129,8 +153,20 @@ class PageMappedFTL:
         if prof is None:
             ppa = self.mapping.lookup(lba)
         else:
-            with prof.section("ftl.translate"):
+            # Clock-pair accumulation instead of a nested section: the
+            # lookup is a single array index, so the section enter/exit
+            # machinery would dominate the recorded time.  Flat backend:
+            # index the forward array directly (bounds-checked inline,
+            # out-of-range falls through to the raising lookup).
+            refs = self._map_refs
+            t0 = perf_counter_ns()
+            if refs is not None and 0 <= lba < self._lba_limit:
+                ppa = refs[0][lba]
+                if ppa < 0:
+                    ppa = None
+            else:
                 ppa = self.mapping.lookup(lba)
+            prof.add("ftl.translate", perf_counter_ns() - t0)
         if ppa is None:
             raise UnmappedReadError(f"LBA {lba} has never been written")
         self.stats.host_reads += 1
@@ -165,6 +201,102 @@ class PageMappedFTL:
         self.stats.host_writes += 1
         self._on_superseded(lba, old_ppa, new_ppa, timestamp)
         return new_ppa
+
+    def write_span(self, lba: int, length: int, timestamp: float) -> None:
+        """Write ``length`` consecutive LBAs with request-batched profiling.
+
+        The per-block operation order is exactly ``length`` calls of
+        :meth:`_write_impl` — same timestamp advance, space check,
+        program, mapping update and supersede hook, in the same order —
+        so GC timing, placement, stats and detection events are
+        bit-identical to the per-block loop.  What changes is profiler
+        *attribution granularity*: one ``ftl.write`` section brackets the
+        whole request, and the per-block ``ftl.translate`` /
+        ``queue.update`` spans are measured with raw clock pairs and
+        folded into the tree once at the end (LayerProfiler.add), so the
+        recorded shares reflect the work instead of 2×``length`` section
+        enter/exits per request.
+        """
+        prof = self._prof
+        if prof is None:
+            for offset in range(length):
+                self._write_impl(lba + offset, timestamp, None)
+            return
+        with prof.section("ftl.write"):
+            mapping = self.mapping
+            in_bounds = 0 <= lba and lba + length <= mapping.num_lbas
+            refs = self._map_refs if in_bounds else None
+            if in_bounds:
+                # Whole span validated up front: the per-block updates can
+                # skip their range checks.
+                mapping_update = mapping.update_unchecked
+            else:
+                # Out-of-range span: the checked update raises
+                # AddressError at exactly the block the per-block loop
+                # would have.
+                mapping_update = mapping.update
+            stats = self.stats
+            clock = perf_counter_ns
+            translate_ns = 0
+            mapped_delta = 0
+            self._span_queue_ns = 0
+            self._span_queue_calls = 0
+            self._in_span = True
+            try:
+                if refs is not None:
+                    # Flat backend: perform update_unchecked's array
+                    # transitions inline (no method call per block),
+                    # folding the mapped-count delta back after the loop.
+                    forward, reverse = refs
+                    for offset in range(length):
+                        current = lba + offset
+                        self._last_timestamp = max(
+                            self._last_timestamp, timestamp
+                        )
+                        self._ensure_space()
+                        new_ppa = self._host_program(
+                            current, timestamp, None
+                        )
+                        t0 = clock()
+                        previous = forward[current]
+                        forward[current] = new_ppa
+                        if previous >= 0:
+                            reverse[previous] = UNMAPPED
+                            old_ppa = previous
+                        else:
+                            old_ppa = None
+                            mapped_delta += 1
+                        reverse[new_ppa] = current
+                        translate_ns += clock() - t0
+                        stats.host_writes += 1
+                        self._on_superseded(
+                            current, old_ppa, new_ppa, timestamp
+                        )
+                else:
+                    for offset in range(length):
+                        current = lba + offset
+                        self._last_timestamp = max(
+                            self._last_timestamp, timestamp
+                        )
+                        self._ensure_space()
+                        new_ppa = self._host_program(
+                            current, timestamp, None
+                        )
+                        t0 = clock()
+                        old_ppa = mapping_update(current, new_ppa)
+                        translate_ns += clock() - t0
+                        stats.host_writes += 1
+                        self._on_superseded(
+                            current, old_ppa, new_ppa, timestamp
+                        )
+            finally:
+                self._in_span = False
+                if mapped_delta:
+                    mapping.add_mapped(mapped_delta)
+            prof.add("ftl.translate", translate_ns, length)
+            if self._span_queue_calls:
+                prof.add("queue.update", self._span_queue_ns,
+                         self._span_queue_calls)
 
     def trim(self, lba: int, timestamp: float = 0.0) -> None:
         """Discard the live version of ``lba`` (e.g. on file deletion)."""
@@ -262,7 +394,7 @@ class PageMappedFTL:
             self.stats.retirement_copies += moved
             block.mark_bad()
             self.stats.bad_blocks += 1
-            if self.obs.enabled and self.obs.tracer.enabled:
+            if self.obs.armed_tracer and self.obs.tracer.enabled:
                 self.obs.tracer.instant(
                     "ftl.block_retired", category="reliability",
                     sim_time=self._last_timestamp, block=global_block,
@@ -305,7 +437,7 @@ class PageMappedFTL:
 
     def collect_garbage(self) -> int:
         """Run GC until the free pool exceeds the target; returns erases done."""
-        if not self.obs.enabled:
+        if not (self.obs.armed_tracer or self.obs.flightrec is not None):
             return self._collect_garbage()
         before_copies = self.stats.gc_page_copies
         before_pinned = self.stats.gc_pinned_copies
@@ -404,9 +536,22 @@ class PageMappedFTL:
         )
 
     def _relocate_and_erase(self, victim: int) -> None:
+        self.stats.gc_runs += 1
+        # The bulk path reorders NAND sub-operations (all programs for a
+        # chunk, then all invalidations) without changing any end state —
+        # but a fault injector draws RNG *per program in call order*, so
+        # fault-armed devices keep the original per-page sequence to stay
+        # bit-identical with the fault-injection oracle tests.
+        if self.nand.faults is None:
+            self._relocate_bulk(victim)
+        else:
+            self._relocate_per_page(victim)
+        self._erase_victim(victim)
+
+    def _relocate_per_page(self, victim: int) -> None:
+        """Original one-page-at-a-time relocation (fault-armed devices)."""
         geometry = self.nand.geometry
         victim_block = self.nand.block(victim)
-        self.stats.gc_runs += 1
         for ppa in self.nand.block_ppa_range(victim):
             page_index = ppa % geometry.pages_per_block
             page = victim_block.pages[page_index]
@@ -414,6 +559,76 @@ class PageMappedFTL:
                 self._copy_valid_page(ppa, page)
             elif page.state is PageState.INVALID and self._is_pinned(ppa):
                 self._copy_pinned_page(ppa, page)
+
+    def _relocate_bulk(self, victim: int) -> None:
+        """Relocate every surviving page of ``victim`` in bulk NAND calls.
+
+        One :meth:`~repro.nand.array.NandArray.program_many` call per
+        target block (instead of a Python round-trip per page) and one
+        batched invalidation at the end, with the block listener fired
+        once per touched block.  Page placement is identical to the
+        per-page path: survivors stream into the GC active block in PPA
+        order, rolling into fresh blocks exactly where
+        :meth:`~repro.ftl.allocator.BlockAllocator.gc_block` would have
+        opened them.
+        """
+        victim_block = self.nand.block(victim)
+        base = victim * self.nand.geometry.pages_per_block
+        pages = victim_block.pages
+        survivors = []
+        for page_index in range(victim_block.write_pointer):
+            page = pages[page_index]
+            state = page.state
+            if state is PageState.VALID:
+                survivors.append((base + page_index, page, False))
+            elif state is PageState.INVALID and self._is_pinned(
+                base + page_index
+            ):
+                survivors.append((base + page_index, page, True))
+        if not survivors:
+            return
+        mapping = self.mapping
+        invalidations = []
+        pinned_moves = 0
+        index = 0
+        while index < len(survivors):
+            target = self.allocator.gc_block()
+            room = self.nand.block(target).free_pages
+            chunk = survivors[index:index + room]
+            new_ppas = self.nand.program_many(
+                target,
+                [(page.lba, page.written_at, page.payload)
+                 for _ppa, page, _pinned in chunk],
+            )
+            for (old_ppa, page, pinned), new_ppa in zip(chunk, new_ppas):
+                if pinned:
+                    # The relocated copy is still an *old version*: it is
+                    # immediately invalid, kept alive only by its pin.
+                    invalidations.append(new_ppa)
+                    self._on_pinned_moved(old_ppa, new_ppa)
+                    pinned_moves += 1
+                else:
+                    lba = page.lba
+                    if lba is None or mapping.lookup(lba) != old_ppa:
+                        raise FtlError(
+                            f"mapping invariant broken: valid page "
+                            f"{old_ppa} not the live copy of its LBA"
+                        )
+                    mapping.update(lba, new_ppa)
+                    invalidations.append(old_ppa)
+            index += len(chunk)
+        self.nand.invalidate_many(invalidations)
+        moved = len(survivors)
+        self.stats.gc_page_copies += moved
+        self.stats.gc_pinned_copies += pinned_moves
+        if self._m_gc_copies is not None:
+            if moved > pinned_moves:
+                self._m_gc_copies.inc(moved - pinned_moves, kind="valid")
+            if pinned_moves:
+                self._m_gc_copies.inc(pinned_moves, kind="pinned")
+
+    def _erase_victim(self, victim: int) -> None:
+        """Erase a fully-relocated victim, surviving natural wear-out."""
         try:
             self.nand.erase(victim)
         except EraseError:

@@ -4,23 +4,228 @@ A page-level map from LBA to flat PPA.  This is the structure the recovery
 algorithm rolls back: restoring an old version of a block is a single entry
 update, never a data copy, which is why recovery completes in well under a
 second.
+
+Two interchangeable backends live here:
+
+* :class:`MappingTable` — the default **flat-array** backend: a dense
+  ``array('q')`` indexed directly by LBA (``-1`` = unmapped), optionally
+  paired with a dense PPA→LBA reverse map.  Lookup and update are a
+  C-array index instead of a dict hash, and :meth:`~MappingTable.
+  translate_many` resolves a whole batch of LBAs in one numpy gather when
+  numpy is available.
+* :class:`DictMappingTable` — the original sparse dict backend, kept as
+  the reference implementation for the backend-equivalence oracle (and
+  for address spaces too large to back densely).
+
+Both expose the identical contract (``lookup``/``update``/``unmap``/
+``is_mapped``/``items``/``mapped_count``/``lba_of``/``translate_many``);
+:func:`create_mapping_table` picks one by name so the choice threads
+through :class:`~repro.ssd.config.SSDConfig` untouched.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional, Tuple
+from array import array
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import AddressError
 
+try:  # numpy accelerates translate_many; everything else is pure Python.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    _np = None
+
+#: Sentinel stored in the flat arrays for "no mapping".
+UNMAPPED = -1
+
+#: Batch size below which the numpy gather costs more than a Python loop.
+_VECTOR_MIN_BATCH = 8
+
 
 class MappingTable:
-    """Sparse LBA -> PPA map over a fixed logical address space."""
+    """Dense LBA -> PPA map over a fixed logical address space.
 
-    def __init__(self, num_lbas: int) -> None:
+    Args:
+        num_lbas: Size of the logical address space in 4-KB blocks.
+        num_ppas: Optional physical address space size; when given, a
+            dense PPA -> LBA reverse map is maintained so
+            :meth:`lba_of` is O(1) (GC relocation and audits use it).
+    """
+
+    #: Backend name stamped into configs/reports.
+    backend = "flat"
+
+    def __init__(self, num_lbas: int, num_ppas: Optional[int] = None) -> None:
+        if num_lbas < 1:
+            raise AddressError(f"logical space must hold >= 1 block, got {num_lbas}")
+        self._num_lbas = num_lbas
+        self._forward = array("q", [UNMAPPED]) * num_lbas
+        self._reverse: Optional[array] = None
+        if num_ppas is not None:
+            if num_ppas < 1:
+                raise AddressError(
+                    f"physical space must hold >= 1 page, got {num_ppas}"
+                )
+            self._reverse = array("q", [UNMAPPED]) * num_ppas
+        self._mapped = 0
+
+    @property
+    def num_lbas(self) -> int:
+        """Size of the logical address space in blocks."""
+        return self._num_lbas
+
+    def _check(self, lba: int) -> None:
+        if not (0 <= lba < self._num_lbas):
+            raise AddressError(f"LBA {lba} out of range [0, {self._num_lbas})")
+
+    def lookup(self, lba: int) -> Optional[int]:
+        """PPA currently mapped for ``lba``, or None if unmapped."""
+        if not (0 <= lba < self._num_lbas):
+            raise AddressError(f"LBA {lba} out of range [0, {self._num_lbas})")
+        ppa = self._forward[lba]
+        return None if ppa < 0 else ppa
+
+    def is_mapped(self, lba: int) -> bool:
+        """True if the LBA currently has a physical page."""
+        self._check(lba)
+        return self._forward[lba] >= 0
+
+    def update(self, lba: int, ppa: int) -> Optional[int]:
+        """Point ``lba`` at ``ppa``; returns the previous PPA (or None)."""
+        forward = self._forward
+        if not (0 <= lba < self._num_lbas):
+            raise AddressError(f"LBA {lba} out of range [0, {self._num_lbas})")
+        if ppa < 0:
+            raise AddressError(f"PPA must be non-negative, got {ppa}")
+        previous = forward[lba]
+        forward[lba] = ppa
+        reverse = self._reverse
+        if reverse is not None:
+            if previous >= 0:
+                reverse[previous] = UNMAPPED
+            reverse[ppa] = lba
+        if previous < 0:
+            self._mapped += 1
+            return None
+        return previous
+
+    def update_unchecked(self, lba: int, ppa: int) -> Optional[int]:
+        """:meth:`update` minus the range validation.
+
+        For callers that validated the whole address span up front (the
+        FTL's ``write_span``); state transitions are identical to
+        :meth:`update` for every in-range ``(lba, ppa)``.
+        """
+        forward = self._forward
+        previous = forward[lba]
+        forward[lba] = ppa
+        reverse = self._reverse
+        if reverse is not None:
+            if previous >= 0:
+                reverse[previous] = UNMAPPED
+            reverse[ppa] = lba
+        if previous < 0:
+            self._mapped += 1
+            return None
+        return previous
+
+    def span_refs(self) -> Optional[Tuple[array, array]]:
+        """``(forward, reverse)`` backing arrays for inline span updates.
+
+        The FTL's ``write_span`` performs the :meth:`update_unchecked`
+        array transitions directly on these references (both are created
+        once and never reassigned), skipping a Python method call per
+        block; the caller accumulates the mapped-count delta and folds it
+        back through :meth:`add_mapped`.  Returns None when no reverse
+        map is kept — callers must then go through the method API.
+        """
+        if self._reverse is None:
+            return None
+        return self._forward, self._reverse
+
+    def add_mapped(self, delta: int) -> None:
+        """Fold a span's newly-mapped-LBA count into the tally."""
+        self._mapped += delta
+
+    def unmap(self, lba: int) -> Optional[int]:
+        """Remove the mapping for ``lba``; returns the removed PPA (or None)."""
+        self._check(lba)
+        previous = self._forward[lba]
+        if previous < 0:
+            return None
+        self._forward[lba] = UNMAPPED
+        if self._reverse is not None:
+            self._reverse[previous] = UNMAPPED
+        self._mapped -= 1
+        return previous
+
+    def lba_of(self, ppa: int) -> Optional[int]:
+        """LBA currently mapped to ``ppa``, or None (O(1) with a reverse map)."""
+        reverse = self._reverse
+        if reverse is not None:
+            if not (0 <= ppa < len(reverse)):
+                return None
+            lba = reverse[ppa]
+            return None if lba < 0 else lba
+        for lba, mapped in enumerate(self._forward):
+            if mapped == ppa:
+                return lba
+        return None
+
+    def translate_many(self, lbas: Sequence[int]) -> List[int]:
+        """Resolve a batch of LBAs; returns PPAs with ``-1`` for unmapped.
+
+        The batch is gathered in one numpy fancy-index when numpy is
+        available and the batch is large enough to pay for the array
+        view; otherwise a plain loop over the backing array.  Out-of-range
+        LBAs raise :class:`~repro.errors.AddressError` exactly like
+        :meth:`lookup` would.
+        """
+        forward = self._forward
+        num_lbas = self._num_lbas
+        if _np is not None and len(lbas) >= _VECTOR_MIN_BATCH:
+            index = _np.asarray(lbas, dtype=_np.int64)
+            if index.size and (
+                int(index.min()) < 0 or int(index.max()) >= num_lbas
+            ):
+                bad = [lba for lba in lbas if not (0 <= lba < num_lbas)]
+                raise AddressError(
+                    f"LBA {bad[0]} out of range [0, {num_lbas})"
+                )
+            table = _np.frombuffer(forward, dtype=_np.int64)
+            return table[index].tolist()
+        out: List[int] = []
+        for lba in lbas:
+            if not (0 <= lba < num_lbas):
+                raise AddressError(f"LBA {lba} out of range [0, {num_lbas})")
+            out.append(forward[lba])
+        return out
+
+    def mapped_count(self) -> int:
+        """Number of currently-mapped LBAs."""
+        return self._mapped
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over ``(lba, ppa)`` pairs in ascending LBA order."""
+        for lba, ppa in enumerate(self._forward):
+            if ppa >= 0:
+                yield (lba, ppa)
+
+    def __len__(self) -> int:
+        return self._mapped
+
+
+class DictMappingTable:
+    """Sparse LBA -> PPA map — the original dict backend, kept as oracle."""
+
+    backend = "dict"
+
+    def __init__(self, num_lbas: int, num_ppas: Optional[int] = None) -> None:
         if num_lbas < 1:
             raise AddressError(f"logical space must hold >= 1 block, got {num_lbas}")
         self._num_lbas = num_lbas
         self._map: Dict[int, int] = {}
+        self._reverse: Dict[int, int] = {}
 
     @property
     def num_lbas(self) -> int:
@@ -44,14 +249,45 @@ class MappingTable:
     def update(self, lba: int, ppa: int) -> Optional[int]:
         """Point ``lba`` at ``ppa``; returns the previous PPA (or None)."""
         self._check(lba)
+        if ppa < 0:
+            raise AddressError(f"PPA must be non-negative, got {ppa}")
         previous = self._map.get(lba)
         self._map[lba] = ppa
+        if previous is not None:
+            self._reverse.pop(previous, None)
+        self._reverse[ppa] = lba
+        return previous
+
+    def update_unchecked(self, lba: int, ppa: int) -> Optional[int]:
+        """:meth:`update` minus the range validation (see MappingTable)."""
+        previous = self._map.get(lba)
+        self._map[lba] = ppa
+        if previous is not None:
+            self._reverse.pop(previous, None)
+        self._reverse[ppa] = lba
         return previous
 
     def unmap(self, lba: int) -> Optional[int]:
         """Remove the mapping for ``lba``; returns the removed PPA (or None)."""
         self._check(lba)
-        return self._map.pop(lba, None)
+        previous = self._map.pop(lba, None)
+        if previous is not None:
+            self._reverse.pop(previous, None)
+        return previous
+
+    def lba_of(self, ppa: int) -> Optional[int]:
+        """LBA currently mapped to ``ppa``, or None."""
+        return self._reverse.get(ppa)
+
+    def translate_many(self, lbas: Sequence[int]) -> List[int]:
+        """Resolve a batch of LBAs; returns PPAs with ``-1`` for unmapped."""
+        lookup = self._map.get
+        out: List[int] = []
+        for lba in lbas:
+            self._check(lba)
+            ppa = lookup(lba)
+            out.append(UNMAPPED if ppa is None else ppa)
+        return out
 
     def mapped_count(self) -> int:
         """Number of currently-mapped LBAs."""
@@ -63,3 +299,24 @@ class MappingTable:
 
     def __len__(self) -> int:
         return len(self._map)
+
+
+#: Registered mapping backends, by config name.
+MAPPING_BACKENDS = {
+    "flat": MappingTable,
+    "dict": DictMappingTable,
+}
+
+
+def create_mapping_table(
+    backend: str, num_lbas: int, num_ppas: Optional[int] = None
+):
+    """Build a mapping table by backend name (``"flat"`` or ``"dict"``)."""
+    try:
+        cls = MAPPING_BACKENDS[backend]
+    except KeyError:
+        raise AddressError(
+            f"unknown mapping backend {backend!r}; "
+            f"expected one of {sorted(MAPPING_BACKENDS)}"
+        ) from None
+    return cls(num_lbas, num_ppas=num_ppas)

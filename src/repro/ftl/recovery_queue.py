@@ -6,13 +6,28 @@ and when the change happened.  Entries older than the detection window
 (10 s by default) expire — the paper guarantees data written more than a
 window ago is safe — and only unexpired entries pin their old physical pages
 against garbage collection (Fig. 5).
+
+Hot-path notes (the device-path fast lane)
+------------------------------------------
+The queue sits on the write path, so its bookkeeping is amortized the same
+way the detector's ``CountingTable`` is:
+
+* :meth:`expire` keeps the oldest queued timestamp cached (``_head_ts``)
+  and returns immediately — without allocating — while nothing can have
+  expired.  Because entries arrive in time order the deque *is* the time
+  index; the cached head timestamp makes the "nothing to do" check O(1),
+  and each entry is popped exactly once over its lifetime, so expiry is
+  O(1) amortized per request.
+* :meth:`push` and :meth:`expire` return a shared empty tuple
+  (:data:`RecoveryQueue.EMPTY`) when nothing was evicted/expired, so the
+  common case allocates nothing.  Callers must treat the return value as
+  read-only.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable, Deque, Dict, Iterator, List, Optional
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError, FtlError
 
@@ -20,24 +35,58 @@ from repro.errors import ConfigError, FtlError
 #: Per-entry DRAM footprint in bytes used by the paper's Table III.
 ENTRY_SIZE_BYTES = 12
 
+#: Shared zero-allocation "nothing happened" result for push/expire.
+_EMPTY: Tuple["BackupEntry", ...] = ()
 
-@dataclass
+_INF = float("inf")
+
+#: Upper bound on the fused log() path's recycled-entry pool.
+_POOL_LIMIT = 512
+
+
 class BackupEntry:
     """One logged change: ``lba`` moved off ``old_ppa`` at ``timestamp``.
 
     ``old_ppa`` is ``None`` when the write was the first ever for the LBA
     (rolling it back means unmapping the LBA, which is what removes freshly
     written encrypted copies left by out-of-place ransomware).
+
+    A ``__slots__`` class rather than a dataclass: one of these is built
+    on every host write, and slots shave both the construction cost and
+    the per-entry footprint on the queue's hot path.  Mutable on purpose
+    (GC relocation rewrites ``old_ppa`` in place via ``repin``).
     """
 
-    lba: int
-    old_ppa: Optional[int]
-    new_ppa: Optional[int]
-    timestamp: float
+    __slots__ = ("lba", "old_ppa", "new_ppa", "timestamp")
+
+    def __init__(self, lba: int, old_ppa: Optional[int],
+                 new_ppa: Optional[int], timestamp: float) -> None:
+        self.lba = lba
+        self.old_ppa = old_ppa
+        self.new_ppa = new_ppa
+        self.timestamp = timestamp
+
+    def __repr__(self) -> str:
+        return (f"BackupEntry(lba={self.lba!r}, old_ppa={self.old_ppa!r}, "
+                f"new_ppa={self.new_ppa!r}, timestamp={self.timestamp!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BackupEntry):
+            return NotImplemented
+        return (self.lba == other.lba
+                and self.old_ppa == other.old_ppa
+                and self.new_ppa == other.new_ppa
+                and self.timestamp == other.timestamp)
 
 
 class RecoveryQueue:
     """FIFO of backup entries with window-based expiry and PPA pinning."""
+
+    #: The shared empty tuple returned when a push evicts nothing or an
+    #: expire call finds nothing past the window.  Identity-comparable
+    #: (``result is RecoveryQueue.EMPTY``) so tests can assert the hot
+    #: path really is allocation-free.
+    EMPTY: Tuple[BackupEntry, ...] = _EMPTY
 
     def __init__(self, retention: float = 10.0, capacity: Optional[int] = None) -> None:
         if retention <= 0:
@@ -46,13 +95,25 @@ class RecoveryQueue:
             raise ConfigError(f"capacity must be >= 1, got {capacity}")
         self.retention = retention
         self.capacity = capacity
+        #: Capacity as a plain comparable (huge sentinel when unbounded),
+        #: so the hot path's bound check is one compare, no None test.
+        self._cap = capacity if capacity is not None else (1 << 62)
         #: Entries evicted early because the queue hit its capacity —
         #: each one is recovery coverage lost inside the window (real
         #: firmware provisions the queue so this stays zero; Table III).
         self.evictions = 0
+        #: Number of expire() calls that actually popped entries (the
+        #: amortized scans); the fast-guard hit rate is
+        #: ``1 - expiry_scans / calls``.
+        self.expiry_scans = 0
+        #: High-water mark of the queue depth over this queue's lifetime.
+        self.depth_peak = 0
         self._entries: Deque[BackupEntry] = deque()
         self._pinned: Dict[int, BackupEntry] = {}
         self._last_timestamp = float("-inf")
+        #: Timestamp of the oldest queued entry (+inf when empty); the
+        #: O(1) guard that lets expire() skip the pop loop entirely.
+        self._head_ts = _INF
         #: Optional callables ``(ppa) -> None`` invoked when a PPA gains
         #: or loses its pin (push, expiry, capacity eviction, rollback
         #: drain, GC repin).  The FTL's victim index listens here; a pin
@@ -60,6 +121,29 @@ class RecoveryQueue:
         #: is not a transition and fires neither hook.
         self.on_pin: Optional[Callable[[int], None]] = None
         self.on_unpin: Optional[Callable[[int], None]] = None
+        # Optional direct references to the victim index's per-block pin
+        # counters (bind_pin_counters); when bound, log() maintains them
+        # inline instead of dispatching through the hooks above.
+        self._pin_counts: Optional[List[int]] = None
+        self._pin_dirty = None
+        self._pin_ppb = 1
+        #: Recycled BackupEntry objects (fused log() path only).
+        self._entry_pool: List[BackupEntry] = []
+
+    def bind_pin_counters(self, counts, dirty, pages_per_block) -> None:
+        """Bind the victim index's pin counters for inline maintenance.
+
+        :meth:`log` then updates ``counts[ppa // pages_per_block]`` and
+        the dirty set directly — the same state transition
+        ``on_pin``/``on_unpin`` would apply, minus a Python method call
+        per pin transition.  The hooks must still be set to the matching
+        index's ``pin``/``unpin``: every other path (general ``push``,
+        ``expire``, ``drain``, ``repin``, capacity eviction) keeps
+        dispatching through them.
+        """
+        self._pin_counts = counts
+        self._pin_dirty = dirty
+        self._pin_ppb = pages_per_block
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -72,11 +156,14 @@ class RecoveryQueue:
         """Old-version physical pages currently protected from GC."""
         return len(self._pinned)
 
-    def push(self, entry: BackupEntry) -> List[BackupEntry]:
+    def push(self, entry: BackupEntry) -> Sequence[BackupEntry]:
         """Append a change-log entry (timestamps must be non-decreasing).
 
         Returns any entries evicted early to respect the capacity bound;
-        their old pages become reclaimable immediately.
+        their old pages become reclaimable immediately.  When nothing is
+        evicted — always, for the unbounded queues real firmware sizes
+        for — the shared read-only :data:`EMPTY` tuple comes back and no
+        list is allocated.
         """
         if entry.timestamp < self._last_timestamp:
             raise ConfigError(
@@ -84,28 +171,208 @@ class RecoveryQueue:
                 f"({entry.timestamp} < {self._last_timestamp})"
             )
         self._last_timestamp = entry.timestamp
-        evicted: List[BackupEntry] = []
-        if self.capacity is not None:
-            while len(self._entries) >= self.capacity:
-                evicted.append(self._pop_front())
+        entries = self._entries
+        evicted: Sequence[BackupEntry] = _EMPTY
+        if self.capacity is not None and len(entries) >= self.capacity:
+            popped: List[BackupEntry] = []
+            while len(entries) >= self.capacity:
+                popped.append(self._pop_front())
                 self.evictions += 1
-        self._entries.append(entry)
-        if entry.old_ppa is not None:
-            previous = self._pinned.get(entry.old_ppa)
-            self._pinned[entry.old_ppa] = entry
+            evicted = popped
+        if not entries:
+            self._head_ts = entry.timestamp
+        entries.append(entry)
+        depth = len(entries)
+        if depth > self.depth_peak:
+            self.depth_peak = depth
+        old_ppa = entry.old_ppa
+        if old_ppa is not None:
+            pinned = self._pinned
+            previous = pinned.get(old_ppa)
+            pinned[old_ppa] = entry
             if previous is None and self.on_pin is not None:
-                self.on_pin(entry.old_ppa)
+                self.on_pin(old_ppa)
         return evicted
+
+    def log(self, lba: int, old_ppa: Optional[int],
+            new_ppa: Optional[int], timestamp: float) -> None:
+        """Fused expire-then-push for the write hot path, results discarded.
+
+        State-equivalent to ``expire(timestamp)`` followed by
+        ``push(BackupEntry(lba, old_ppa, new_ppa, timestamp))`` with both
+        return values dropped — every counter (``expiry_scans``,
+        ``evictions``, ``depth_peak``), the pin index and the pin hooks
+        transition identically — minus the expired/evicted list building
+        and one method frame.  Callers that need the expired or evicted
+        entries (tracer, gauges, flight recorder) must use the two-call
+        form instead.
+
+        Expired entry objects are *recycled* through an internal pool
+        (their four fields are overwritten by a later ``log`` call), so
+        callers must not retain references to entries after they leave
+        the queue through this path.  The general ``expire``/``drain``
+        paths never recycle — entries they return stay valid.
+        """
+        cutoff = timestamp - self.retention
+        entries = self._entries
+        pinned = self._pinned
+        counts = self._pin_counts
+        dirty = self._pin_dirty
+        ppb = self._pin_ppb
+        pool = self._entry_pool
+        if cutoff > self._head_ts:
+            # Bulk expiry: pop everything past the window in one loop,
+            # updating the cached head timestamp once at the end instead
+            # of per pop (_pop_front's per-entry deque peek).
+            self.expiry_scans += 1
+            on_unpin = self.on_unpin
+            while entries and entries[0].timestamp < cutoff:
+                expired = entries.popleft()
+                ppa = expired.old_ppa
+                if ppa is not None:
+                    current = pinned.pop(ppa, None)
+                    if current is expired:
+                        if counts is not None:
+                            block = ppa // ppb
+                            count = counts[block] - 1
+                            if count < 0:
+                                raise FtlError(
+                                    f"victim index corrupt: unpin of PPA "
+                                    f"{ppa} drops block {block} below zero "
+                                    f"pins"
+                                )
+                            counts[block] = count
+                            dirty.add(block)
+                        elif on_unpin is not None:
+                            on_unpin(ppa)
+                    elif current is not None:
+                        # A newer entry re-pinned this PPA: restore it.
+                        pinned[ppa] = current
+                pool.append(expired)
+            self._head_ts = entries[0].timestamp if entries else _INF
+            if len(pool) > _POOL_LIMIT:
+                del pool[_POOL_LIMIT:]
+        if timestamp < self._last_timestamp:
+            raise ConfigError(
+                f"backup entries must arrive in time order "
+                f"({timestamp} < {self._last_timestamp})"
+            )
+        self._last_timestamp = timestamp
+        excess = len(entries) - self._cap
+        if excess == 0:
+            # Steady-state capacity eviction: exactly one entry leaves the
+            # head as one arrives at the tail (push never lets the queue
+            # grow past capacity, so ``excess`` can only reach 0, never
+            # exceed it, through normal operation).  ``rotate(-1)`` moves
+            # the head slot to the tail in place, and the evicted entry
+            # object is mutated into the new one — no deque pop/append,
+            # no pool round-trip, no allocation.  The depth is unchanged
+            # at ``capacity``, which a prior push already recorded as the
+            # peak, so the depth-peak check is skipped too.
+            evicted = entries[0]
+            ppa = evicted.old_ppa
+            if ppa is not None:
+                current = pinned.pop(ppa, None)
+                if current is evicted:
+                    if counts is not None:
+                        block = ppa // ppb
+                        count = counts[block] - 1
+                        if count < 0:
+                            raise FtlError(
+                                f"victim index corrupt: unpin of PPA "
+                                f"{ppa} drops block {block} below zero "
+                                f"pins"
+                            )
+                        counts[block] = count
+                        dirty.add(block)
+                    elif self.on_unpin is not None:
+                        self.on_unpin(ppa)
+                elif current is not None:
+                    # A newer entry re-pinned this PPA: restore it.
+                    pinned[ppa] = current
+            self.evictions += 1
+            entries.rotate(-1)
+            evicted.lba = lba
+            evicted.old_ppa = old_ppa
+            evicted.new_ppa = new_ppa
+            evicted.timestamp = timestamp
+            # Read the head timestamp *after* the mutation so the
+            # capacity-1 corner (the recycled entry is its own head)
+            # observes the new timestamp, exactly as pop-then-push would.
+            self._head_ts = entries[0].timestamp
+            entry = evicted
+        else:
+            if excess > 0:
+                # Oversized backlog (only reachable if entries were bulk
+                # loaded past capacity): same inline unpin treatment as
+                # bulk expiry, pop count known up front.
+                on_unpin = self.on_unpin
+                for _ in range(excess + 1):
+                    evicted = entries.popleft()
+                    ppa = evicted.old_ppa
+                    if ppa is not None:
+                        current = pinned.pop(ppa, None)
+                        if current is evicted:
+                            if counts is not None:
+                                block = ppa // ppb
+                                count = counts[block] - 1
+                                if count < 0:
+                                    raise FtlError(
+                                        f"victim index corrupt: unpin of "
+                                        f"PPA {ppa} drops block {block} "
+                                        f"below zero pins"
+                                    )
+                                counts[block] = count
+                                dirty.add(block)
+                            elif on_unpin is not None:
+                                on_unpin(ppa)
+                        elif current is not None:
+                            # A newer entry re-pinned this PPA: restore it.
+                            pinned[ppa] = current
+                    pool.append(evicted)
+                self.evictions += excess + 1
+                self._head_ts = entries[0].timestamp if entries else _INF
+                if len(pool) > _POOL_LIMIT:
+                    del pool[_POOL_LIMIT:]
+            if pool:
+                entry = pool.pop()
+                entry.lba = lba
+                entry.old_ppa = old_ppa
+                entry.new_ppa = new_ppa
+                entry.timestamp = timestamp
+            else:
+                entry = BackupEntry(lba, old_ppa, new_ppa, timestamp)
+            if not entries:
+                self._head_ts = timestamp
+            entries.append(entry)
+            depth = len(entries)
+            if depth > self.depth_peak:
+                self.depth_peak = depth
+        if old_ppa is not None:
+            previous = pinned.setdefault(old_ppa, entry)
+            if previous is entry:
+                # Fresh pin (the common case): one dict probe, then the
+                # inline counter update.
+                if counts is not None:
+                    block = old_ppa // ppb
+                    counts[block] += 1
+                    dirty.add(block)
+                elif self.on_pin is not None:
+                    self.on_pin(old_ppa)
+            else:
+                # Replacement pin: newer entry takes over, no transition.
+                pinned[old_ppa] = entry
 
     def _pop_front(self) -> BackupEntry:
         entry = self._entries.popleft()
+        self._head_ts = self._entries[0].timestamp if self._entries else _INF
         if entry.old_ppa is not None and self._pinned.get(entry.old_ppa) is entry:
             del self._pinned[entry.old_ppa]
             if self.on_unpin is not None:
                 self.on_unpin(entry.old_ppa)
         return entry
 
-    def expire(self, now: float) -> List[BackupEntry]:
+    def expire(self, now: float) -> Sequence[BackupEntry]:
         """Drop (and return) entries older than the retention window.
 
         Expired entries release their pins: the paper deems data overwritten
@@ -114,8 +381,16 @@ class RecoveryQueue:
         window ago is on the boundary the paper still guarantees
         recoverable, so it stays queued (and pinned) until time moves past
         it.
+
+        O(1) and allocation-free when nothing has expired (the cached
+        oldest-entry timestamp answers without touching the deque); the
+        pop loop only runs — and a fresh list is only built — when at
+        least one entry is actually past the window.
         """
         cutoff = now - self.retention
+        if cutoff <= self._head_ts:
+            return _EMPTY
+        self.expiry_scans += 1
         expired: List[BackupEntry] = []
         while self._entries and self._entries[0].timestamp < cutoff:
             expired.append(self._pop_front())
@@ -147,6 +422,7 @@ class RecoveryQueue:
         if predicate is None:
             entries = list(self._entries)
             self._entries.clear()
+            self._head_ts = _INF
             released = list(self._pinned)
             self._pinned.clear()
             if self.on_unpin is not None:
@@ -158,6 +434,7 @@ class RecoveryQueue:
         for entry in self._entries:
             (drained if predicate(entry) else kept).append(entry)
         self._entries = type(self._entries)(kept)
+        self._head_ts = kept[0].timestamp if kept else _INF
         for entry in drained:
             if entry.old_ppa is not None and self._pinned.get(entry.old_ppa) is entry:
                 del self._pinned[entry.old_ppa]
@@ -174,10 +451,17 @@ class RecoveryQueue:
 
         Invariants (the ones block retirement and GC relocation must
         preserve): every pinned PPA points at an entry that is still
-        queued and whose ``old_ppa`` is that PPA, and no two pins share
-        an entry.  Tests and the fault sweep call this after stressful
+        queued and whose ``old_ppa`` is that PPA, no two pins share an
+        entry, and the cached head timestamp matches the actual oldest
+        entry.  Tests and the fault sweep call this after stressful
         transitions (retirement, repin, power-loss rebuild).
         """
+        expected_head = self._entries[0].timestamp if self._entries else _INF
+        if self._head_ts != expected_head:
+            raise FtlError(
+                f"expiry guard corrupt: cached head timestamp "
+                f"{self._head_ts} != actual {expected_head}"
+            )
         queued = {id(entry) for entry in self._entries}
         seen = set()
         for ppa, entry in self._pinned.items():

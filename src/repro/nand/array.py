@@ -17,7 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.errors import EraseError, ProgramFailError, UncorrectableReadError
+from repro.errors import (
+    ConfigError,
+    EraseError,
+    ProgramFailError,
+    UncorrectableReadError,
+)
 from repro.nand.block import Block, PageInfo, PageState
 from repro.nand.chip import NandChip
 from repro.nand.ecc import EccConfig, ReliabilityCounters
@@ -141,6 +146,48 @@ class NandArray:
             self.block_listener(global_block)
         return ppa
 
+    def program_many(self, global_block: int, pages) -> List[int]:
+        """Program consecutive pages of one block in a single call.
+
+        ``pages`` is a sequence of ``(lba, timestamp, payload)`` tuples;
+        returns the flat PPAs programmed, in order.  This is the GC bulk
+        relocation path: one profiler section and one block-listener
+        notification cover the whole chunk instead of one per page.
+
+        Only callable on a fault-free array: the injector draws RNG per
+        program *in call order*, and this path does not consult it, so
+        mixing the two would silently desynchronise fault streams.
+        """
+        if self.faults is not None:
+            raise ConfigError(
+                "program_many is the fault-free bulk path; use program() "
+                "per page when a fault injector is attached"
+            )
+        prof = self.profiler
+        if prof is None:
+            return self._program_many_impl(global_block, pages)
+        with prof.section("nand.program"):
+            return self._program_many_impl(global_block, pages)
+
+    def _program_many_impl(self, global_block: int, pages) -> List[int]:
+        chip_index = global_block // self.geometry.blocks_per_chip
+        block_index = global_block % self.geometry.blocks_per_chip
+        chip = self._chips[chip_index]
+        base = global_block * self.geometry.pages_per_block
+        latency = self.latencies.page_program
+        breakdown = self.busy_breakdown
+        ppas: List[int] = []
+        for lba, timestamp, payload in pages:
+            page_index = chip.program(block_index, lba, timestamp, payload)
+            # Per-page accumulation (not one multiply) keeps the float
+            # busy-time totals bit-identical to the per-page path.
+            self.busy_time += latency
+            breakdown.page_program += latency
+            ppas.append(base + page_index)
+        if ppas and self.block_listener is not None:
+            self.block_listener(global_block)
+        return ppas
+
     def read(self, ppa: int) -> PageInfo:
         """Read a page by flat PPA.
 
@@ -219,6 +266,27 @@ class NandArray:
         self._chips[chip_index].block(block_index).invalidate(page_index)
         if self.block_listener is not None:
             self.block_listener(ppa // self.geometry.pages_per_block)
+
+    def invalidate_many(self, ppas) -> None:
+        """Mark a batch of pages invalid, one listener call per block.
+
+        Equivalent to ``invalidate()`` per PPA; the block listener (the
+        victim index) only re-reads final per-block state, so firing it
+        once per distinct block after the batch is an exact optimisation.
+        """
+        pages_per_block = self.geometry.pages_per_block
+        blocks_per_chip = self.geometry.blocks_per_chip
+        chips = self._chips
+        touched = {}
+        for ppa in ppas:
+            global_block = ppa // pages_per_block
+            chips[global_block // blocks_per_chip].block(
+                global_block % blocks_per_chip
+            ).invalidate(ppa % pages_per_block)
+            touched[global_block] = None
+        if self.block_listener is not None:
+            for global_block in touched:
+                self.block_listener(global_block)
 
     def revalidate(self, ppa: int) -> None:
         """Bring an invalid page back to VALID (rollback restoring it)."""

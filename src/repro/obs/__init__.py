@@ -98,6 +98,13 @@ class Observability:
             tracer is not None or metrics is not None
             or flightrec is not None or profiler is not None
         )
+        #: Whether a *recording* tracer / metrics registry was supplied.
+        #: Components gate per-request span and counter work on these
+        #: instead of :attr:`enabled`, so arming only the profiler (the
+        #: ``repro.tools.profile`` harness) does not drag the full
+        #: metrics/tracer hot path back in.
+        self.armed_tracer = tracer is not None
+        self.armed_metrics = metrics is not None
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.flightrec = flightrec

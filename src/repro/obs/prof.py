@@ -98,6 +98,54 @@ class _SectionGuard:
         return False
 
 
+class _NullGuard:
+    """Shared no-op context manager for the disarmed profiler."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullGuard":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_GUARD = _NullGuard()
+
+
+class NullProfiler:
+    """Zero-cost disarmed profiler: every hook is a no-op.
+
+    Hot loops that want branch-free structure can hoist
+    ``prof = self._prof or NULL_PROFILER`` once and then write
+    ``with prof.section(...)`` unconditionally — the disarmed guard is a
+    shared singleton, so the per-iteration cost is one attribute call and
+    no allocation.  ``armed`` distinguishes it from a real profiler
+    without an ``isinstance`` check.
+    """
+
+    __slots__ = ()
+
+    armed = False
+
+    def start(self, name: str) -> None:
+        """No-op."""
+
+    def stop(self) -> None:
+        """No-op."""
+
+    def section(self, name: str) -> _NullGuard:
+        """Return the shared no-op guard."""
+        return _NULL_GUARD
+
+    def add(self, name: str, ns: int, calls: int = 1) -> None:
+        """No-op."""
+
+
+#: The shared disarmed profiler instance.
+NULL_PROFILER = NullProfiler()
+
+
 class LayerProfiler:
     """Accumulates per-layer wall time and call counts into a call tree.
 
@@ -111,6 +159,9 @@ class LayerProfiler:
     ``with`` block.  Sections nest; time spent in a child section is
     *inclusive* for every ancestor and *exclusive* only for the child.
     """
+
+    #: Real profilers record; the :data:`NULL_PROFILER` does not.
+    armed = True
 
     def __init__(self) -> None:
         #: Synthetic root; never started or stopped itself.
@@ -147,6 +198,28 @@ class LayerProfiler:
         """Open ``name`` and return the shared closing context manager."""
         self.start(name)
         return self._guard
+
+    def add(self, name: str, ns: int, calls: int = 1) -> None:
+        """Attribute externally measured time to child ``name`` of the
+        currently open section.
+
+        The amortized alternative to ``calls`` nested sections: a hot
+        loop brackets its inner spans with raw ``perf_counter_ns`` pairs,
+        accumulates, and folds the total into the tree once per batch.
+        The node lands exactly where the per-iteration sections would
+        have — as a child of the open section — and ``events`` still
+        advances by ``calls``, keeping the overhead model conservative
+        (an accumulated pair costs two clock reads, less than a full
+        start/stop pair).
+        """
+        parent = self._stack[-1]
+        node = parent.children.get(name)
+        if node is None:
+            node = ProfileNode(name)
+            parent.children[name] = node
+        node.total_ns += ns
+        node.calls += calls
+        self.events += calls
 
     @property
     def depth(self) -> int:

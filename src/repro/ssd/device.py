@@ -116,6 +116,7 @@ class SimulatedSSD:
             retention=self.config.retention,
             queue_capacity=self.config.queue_capacity,
             obs=self.obs,
+            mapping_backend=self.config.mapping_backend,
         )
         self.detector: Optional[RansomwareDetector] = None
         if self.config.detector_enabled:
@@ -131,7 +132,15 @@ class SimulatedSSD:
         self._m_requests = None
         self._m_blocks = None
         self._m_dropped = None
-        if self.obs.enabled:
+        #: Whether per-request spans/metrics are armed at all.  Profiler-
+        #: only bundles (the ``repro.tools.profile`` harness) skip the
+        #: whole :meth:`_observed` wrapper — wall-clock sampling and
+        #: counter updates would otherwise dominate what the profile is
+        #: trying to measure.
+        self._observe_requests = (
+            self.obs.armed_tracer or self.obs.armed_metrics
+        )
+        if self.obs.armed_metrics:
             metrics = self.obs.metrics
             self._m_req_latency = metrics.loghistogram(
                 "ssd_request_latency_seconds",
@@ -197,8 +206,13 @@ class SimulatedSSD:
             self.obs.maybe_snapshot(
                 self.clock.now, before=self.refresh_obs_metrics
             )
-        if not self.obs.enabled:
-            self._execute(request)
+        if not self._observe_requests:
+            prof = self._prof
+            if prof is None:
+                self._execute(request)
+                return
+            with prof.section("ssd.submit"):
+                self._execute(request)
             return
         prof = self._prof
         if prof is None:
@@ -206,6 +220,53 @@ class SimulatedSSD:
             return
         with prof.section("ssd.submit"):
             self._observed(request, lambda: self._execute(request))
+
+    def submit_batch(self, requests) -> int:
+        """Execute requests in order; returns how many were executed.
+
+        The batched front door for trace replay: per-request span/timing/
+        dict overhead is hoisted out of the loop, and on an uninstrumented
+        fault-free device the whole batch runs inside one profiler section
+        with only the clock advance and the operation itself per request.
+
+        Stops early — returning the count executed so far, which is then
+        less than ``len(requests)`` — when a request flips the device
+        read-only (alarm lockdown or write-path media degradation), so a
+        replay harness sees the lockdown at the same request boundary a
+        per-request ``submit()`` loop would and can recover/dismiss before
+        resubmitting the remainder.  Requests submitted while the device
+        is *already* read-only execute normally (reads served, writes
+        dropped), exactly like :meth:`submit`.
+        """
+        executed = 0
+        was_read_only = self.read_only
+        if not (self._observe_requests or self._snapshots_on
+                or self.fault_injector is not None):
+            advance = self.clock.advance_to
+            execute = self._execute
+            prof = self._prof
+            if prof is None:
+                for request in requests:
+                    advance(request.time)
+                    execute(request)
+                    executed += 1
+                    if self.read_only and not was_read_only:
+                        break
+                return executed
+            with prof.section("ssd.submit"):
+                for request in requests:
+                    advance(request.time)
+                    execute(request)
+                    executed += 1
+                    if self.read_only and not was_read_only:
+                        break
+            return executed
+        for request in requests:
+            self.submit(request)
+            executed += 1
+            if self.read_only and not was_read_only:
+                break
+        return executed
 
     def _observed(self, request, operate):
         """Run one host operation under the request span + metrics."""
@@ -216,9 +277,10 @@ class SimulatedSSD:
             mode=mode, lba=request.lba, length=request.length,
         ):
             result = operate()
-        self._m_req_latency.observe(perf_counter() - start, mode=mode)
-        self._m_requests.inc(mode=mode)
-        self._m_blocks.inc(request.length, mode=mode)
+        if self._m_req_latency is not None:
+            self._m_req_latency.observe(perf_counter() - start, mode=mode)
+            self._m_requests.inc(mode=mode)
+            self._m_blocks.inc(request.length, mode=mode)
         self.obs.tracer.counter(
             "recovery_queue_depth", len(self.ftl.queue), category="queue"
         )
@@ -229,11 +291,26 @@ class SimulatedSSD:
             self.detector.observe(request)
         if self.fr is not None:
             self._flight_note(request)
-        for lba in request.lbas():
-            if request.mode is IOMode.READ:
+        if request.mode is IOMode.READ:
+            for lba in request.lbas():
                 self._read_block(lba)
-            else:
-                self._write_block(lba, None)
+            return
+        # Trace writes carry no payload, so a whole write request can run
+        # as one FTL span — identical per-block operation order, but the
+        # profiler attributes translate/queue time once per request
+        # instead of once per block.  Falls back to the per-block loop
+        # whenever a block could take a divergent path: already
+        # read-only (drop accounting), fault injection (program failures
+        # can flip read-only mid-request), or a content-aware detector
+        # (per-block observe_write hook).
+        if (not self.read_only and self.fault_injector is None
+                and (self.detector is None
+                     or not hasattr(self.detector.tree, "observe_write"))):
+            self.stats.writes += request.length
+            self.ftl.write_span(request.lba, request.length, self.clock.now)
+            return
+        for lba in request.lbas():
+            self._write_block(lba, None)
 
     def read(self, lba: int, now: Optional[float] = None) -> bytes:
         """Read one 4-KB block; unmapped blocks read as zeroes."""
@@ -250,7 +327,7 @@ class SimulatedSSD:
             self.detector.observe(request)
         if self.fr is not None:
             self._flight_note(request)
-        if not self.obs.enabled:
+        if not self._observe_requests:
             return self._read_block(lba)
         return self._observed(request, lambda: self._read_block(lba))
 
@@ -272,7 +349,7 @@ class SimulatedSSD:
             self.detector.observe(request)
         if self.fr is not None:
             self._flight_note(request)
-        if not self.obs.enabled:
+        if not self._observe_requests:
             self._write_block(lba, payload)
             return
         self._observed(request, lambda: self._write_block(lba, payload))
@@ -392,6 +469,7 @@ class SimulatedSSD:
             retention=self.config.retention,
             queue_capacity=self.config.queue_capacity,
             obs=self.obs,
+            mapping_backend=self.config.mapping_backend,
         )
         if self.wear_leveler is not None:
             self.wear_leveler = self.ftl.attach_wear_leveling(

@@ -221,6 +221,7 @@ def bench_detector_path(
 def bench_device_path(
     requests: List[IORequest], config: DetectorConfig,
     warmup: int = DEFAULT_WARMUP,
+    batch_size: Optional[int] = None,
 ) -> Dict[str, object]:
     """Replay through the full simulated device (detector + FTL + NAND).
 
@@ -228,6 +229,15 @@ def bench_device_path(
     simulated LBA space concentrates overwrites enough to trip the
     detector, and a locked (read-only) device would silently drop writes —
     turning the rest of the replay into a no-op and inflating throughput.
+
+    With ``batch_size`` set, requests go through
+    :meth:`SimulatedSSD.submit_batch` in that chunk size — the amortized
+    fast lane the replay harnesses use.  Each request's latency sample is
+    then the batch's wall time divided by the requests it executed (the
+    per-request timer would otherwise *be* the overhead the batch path
+    amortizes away); ``submit_batch`` stops at the read-only transition,
+    so alarms are still dismissed at the same request boundary as the
+    per-request loop.
     """
     from repro.ssd.config import SSDConfig
     from repro.ssd.device import SimulatedSSD
@@ -235,27 +245,48 @@ def bench_device_path(
     ssd_config = SSDConfig.small(detector=config)
     ssd = SimulatedSSD(config=ssd_config)
     num_lbas = ssd.num_lbas
-    submit = ssd.submit
     clock = time.perf_counter_ns
     samples: List[int] = []
     append = samples.append
     alarms = 0
+    remapped_all = [
+        IORequest(time=request.time,
+                  lba=request.lba % max(1, num_lbas - request.length),
+                  mode=request.mode, length=request.length,
+                  source=request.source)
+        for request in requests
+    ]
     started = time.perf_counter()
-    for request in requests:
-        lba = request.lba % max(1, num_lbas - request.length)
-        remapped = IORequest(time=request.time, lba=lba, mode=request.mode,
-                             length=request.length, source=request.source)
-        t0 = clock()
-        submit(remapped)
-        append(clock() - t0)
-        if ssd.read_only:
-            alarms += 1
-            ssd.dismiss_alarm()
+    if batch_size is not None:
+        submit_batch = ssd.submit_batch
+        total = len(remapped_all)
+        index = 0
+        while index < total:
+            chunk = remapped_all[index:index + batch_size]
+            t0 = clock()
+            executed = submit_batch(chunk)
+            batch_ns = clock() - t0
+            per_request = batch_ns // max(1, executed)
+            samples.extend([per_request] * executed)
+            index += executed
+            if ssd.read_only:
+                alarms += 1
+                ssd.dismiss_alarm()
+    else:
+        submit = ssd.submit
+        for remapped in remapped_all:
+            t0 = clock()
+            submit(remapped)
+            append(clock() - t0)
+            if ssd.read_only:
+                alarms += 1
+                ssd.dismiss_alarm()
     elapsed = time.perf_counter() - started
     detector = ssd.detector
     slices_closed = detector._current.index if detector is not None else 0
     return {
         "requests": len(requests),
+        "batch_size": batch_size,
         "elapsed_s": round(elapsed, 4),
         "requests_per_sec": round(len(requests) / elapsed, 1) if elapsed else 0.0,
         "slices_closed": slices_closed,
@@ -402,6 +433,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--warmup", type=int, default=DEFAULT_WARMUP,
                         help="requests excluded from the steady-state "
                              "percentiles (default: %(default)s)")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        metavar="N",
+                        help="submit the device path through "
+                             "SimulatedSSD.submit_batch in N-request chunks "
+                             "(default: per-request submit)")
     parser.add_argument("--profile", metavar="FILE", default=None,
                         help="also run the device mix under the layer "
                              "profiler and write the ssd-insider.profile/v1 "
@@ -441,6 +477,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "window_slices": config.window_slices,
             "threshold": config.threshold,
             "warmup_requests": args.warmup,
+            "batch_size": args.batch_size,
         },
         "paths": {},
     }
@@ -481,8 +518,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("device path ...", flush=True)
         device_mix = synthesize_mix(args.device_requests, args.gap, args.seed,
                                     include_ransomware=False)
-        report["paths"]["device"] = bench_device_path(device_mix, config,
-                                                      warmup=args.warmup)
+        report["paths"]["device"] = bench_device_path(
+            device_mix, config, warmup=args.warmup,
+            batch_size=args.batch_size)
         print(f"  {report['paths']['device']['requests_per_sec']:,.0f} req/s",
               flush=True)
 
@@ -507,6 +545,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             "out": str(profile_path),
             "coverage": profile["coverage"],
             "top_layers": profile["device_path"]["top_layers"],
+        }
+        # Trajectory metrics for benchdiff live under ``paths`` (that is
+        # all flatten_metrics walks): the layer shares the fast-lane work
+        # is meant to shrink, as exclusive-% of profiled wall time.
+        shares = {row["layer"]: row["exclusive_pct_of_wall"]
+                  for row in profile["layers"]}
+        report["paths"]["device_profile"] = {
+            "queue_update_pct_of_wall": shares.get("queue.update", 0.0),
+            "ftl_translate_pct_of_wall": shares.get("ftl.translate", 0.0),
         }
         print(f"  profile -> {profile_path}", flush=True)
 

@@ -40,7 +40,8 @@ HIGHER_BETTER = ("requests_per_sec", "slices_per_sec", "speedup_vs_naive")
 
 #: Metric-name suffixes where a smaller value is an improvement.
 LOWER_BETTER = ("elapsed_s", "build_s", "p50_us", "p90_us", "p99_us",
-                "max_us")
+                "max_us", "queue_update_pct_of_wall",
+                "ftl_translate_pct_of_wall")
 
 #: Default relative change treated as a regression (10%).
 DEFAULT_THRESHOLD = 0.10
@@ -53,6 +54,8 @@ TRAJECTORY_METRICS = (
     "detector_naive_baseline.speedup_vs_naive",
     "device.requests_per_sec",
     "device.per_request_steady.requests_per_sec",
+    "device_profile.queue_update_pct_of_wall",
+    "device_profile.ftl_translate_pct_of_wall",
     "scenario.requests_per_sec",
 )
 

@@ -1,0 +1,293 @@
+"""Device-path fast lane: fused queue logging, span writes, prof.add.
+
+The write-path optimisations must be *invisible*:
+
+* :meth:`RecoveryQueue.log` is a fused ``expire()`` + ``push()`` with the
+  results dropped — entries, pins, hook transitions and every counter
+  must match the two-call form bit for bit, across expiry, capacity
+  eviction (including the steady-state rotate-in-place path) and the
+  entry pool.
+* The inline pin-counter maintenance (``bind_pin_counters``) must apply
+  exactly the transitions the ``on_pin``/``on_unpin`` hooks would.
+* :meth:`BaseFtl.write_span` must leave the same FTL state behind as the
+  per-block ``write()`` loop it replaces, profiler armed or not.
+* :meth:`LayerProfiler.add` must fold externally measured time into the
+  tree exactly where an equivalent section would have landed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import AddressError, ConfigError
+from repro.ftl.insider import InsiderFTL
+from repro.ftl.mapping import DictMappingTable, MappingTable, UNMAPPED
+from repro.ftl.recovery_queue import BackupEntry, RecoveryQueue
+from repro.nand.array import NandArray
+from repro.nand.geometry import NandGeometry
+from repro.obs import Observability
+from repro.obs.prof import LayerProfiler, NullProfiler, build_report
+
+
+# -- helpers ------------------------------------------------------------------
+
+def queue_snapshot(queue: RecoveryQueue) -> dict:
+    """Value-level snapshot (entry objects may be recycled by log())."""
+    return {
+        "entries": [(e.lba, e.old_ppa, e.new_ppa, e.timestamp)
+                    for e in queue],
+        "pinned": {ppa: (e.lba, e.old_ppa, e.new_ppa, e.timestamp)
+                   for ppa, e in queue._pinned.items()},
+        "len": len(queue),
+        "pinned_count": queue.pinned_count,
+        "evictions": queue.evictions,
+        "expiry_scans": queue.expiry_scans,
+        "depth_peak": queue.depth_peak,
+    }
+
+
+def random_stream(seed: int, n: int = 400, ppa_universe: int = 128,
+                  retention: float = 5.0):
+    """A time-ordered change stream with repeats, Nones and window jumps."""
+    rng = random.Random(seed)
+    timestamp = 0.0
+    stream = []
+    for i in range(n):
+        roll = rng.random()
+        if roll < 0.05:
+            timestamp += retention * rng.uniform(1.0, 2.5)  # force expiry
+        elif roll < 0.8:
+            timestamp += rng.uniform(0.0, 0.4)  # includes equal timestamps
+        old_ppa = None if rng.random() < 0.15 else rng.randrange(ppa_universe)
+        stream.append((i, old_ppa, ppa_universe + i, timestamp))
+    return stream
+
+
+def reference_apply(queue: RecoveryQueue, lba, old_ppa, new_ppa, timestamp):
+    queue.expire(timestamp)
+    queue.push(BackupEntry(lba, old_ppa, new_ppa, timestamp))
+
+
+# -- RecoveryQueue.log() ------------------------------------------------------
+
+class TestFusedLogEquivalence:
+    @pytest.mark.parametrize("capacity", [None, 1, 4, 16, 64])
+    @pytest.mark.parametrize("seed", [0, 7, 20180706])
+    def test_matches_expire_plus_push(self, capacity, seed):
+        fast = RecoveryQueue(retention=5.0, capacity=capacity)
+        ref = RecoveryQueue(retention=5.0, capacity=capacity)
+        for lba, old_ppa, new_ppa, timestamp in random_stream(seed):
+            fast.log(lba, old_ppa, new_ppa, timestamp)
+            reference_apply(ref, lba, old_ppa, new_ppa, timestamp)
+        assert queue_snapshot(fast) == queue_snapshot(ref)
+        fast.audit()
+        ref.audit()
+
+    @pytest.mark.parametrize("capacity", [1, 8])
+    def test_hook_transition_sequences_identical(self, capacity):
+        fast = RecoveryQueue(retention=5.0, capacity=capacity)
+        ref = RecoveryQueue(retention=5.0, capacity=capacity)
+        fast_calls, ref_calls = [], []
+        fast.on_pin = lambda ppa: fast_calls.append(("pin", ppa))
+        fast.on_unpin = lambda ppa: fast_calls.append(("unpin", ppa))
+        ref.on_pin = lambda ppa: ref_calls.append(("pin", ppa))
+        ref.on_unpin = lambda ppa: ref_calls.append(("unpin", ppa))
+        for lba, old_ppa, new_ppa, timestamp in random_stream(11, n=300):
+            fast.log(lba, old_ppa, new_ppa, timestamp)
+            reference_apply(ref, lba, old_ppa, new_ppa, timestamp)
+        assert fast_calls == ref_calls
+        assert queue_snapshot(fast) == queue_snapshot(ref)
+
+    def test_inline_counters_match_hook_dispatch(self):
+        """bind_pin_counters maintains the exact state the hooks would."""
+        ppb, blocks = 4, 64
+        fast = RecoveryQueue(retention=5.0, capacity=8)
+        ref = RecoveryQueue(retention=5.0, capacity=8)
+        fast_counts, fast_dirty = [0] * blocks, set()
+        ref_counts, ref_dirty = [0] * blocks, set()
+
+        def make_hooks(counts, dirty):
+            def on_pin(ppa):
+                counts[ppa // ppb] += 1
+                dirty.add(ppa // ppb)
+
+            def on_unpin(ppa):
+                counts[ppa // ppb] -= 1
+                dirty.add(ppa // ppb)
+
+            return on_pin, on_unpin
+
+        fast.on_pin, fast.on_unpin = make_hooks(fast_counts, fast_dirty)
+        fast.bind_pin_counters(fast_counts, fast_dirty, ppb)
+        ref.on_pin, ref.on_unpin = make_hooks(ref_counts, ref_dirty)
+        for lba, old_ppa, new_ppa, timestamp in random_stream(23, n=500):
+            fast.log(lba, old_ppa, new_ppa, timestamp)
+            reference_apply(ref, lba, old_ppa, new_ppa, timestamp)
+        assert fast_counts == ref_counts
+        assert fast_dirty == ref_dirty
+        assert queue_snapshot(fast) == queue_snapshot(ref)
+
+    def test_rejects_time_regression(self):
+        queue = RecoveryQueue(capacity=4)
+        queue.log(1, 100, 200, 5.0)
+        with pytest.raises(ConfigError):
+            queue.log(2, 101, 201, 4.0)
+
+    def test_capacity_one_recycles_in_place(self):
+        """The rotate-in-place corner: the evicted entry is its own head."""
+        queue = RecoveryQueue(retention=10.0, capacity=1)
+        queue.log(1, 100, 200, 0.0)
+        queue.log(2, 101, 201, 1.0)
+        assert [(e.lba, e.old_ppa) for e in queue] == [(2, 101)]
+        assert queue.evictions == 1
+        assert not queue.is_pinned(100)
+        assert queue.is_pinned(101)
+        queue.audit()  # cached head timestamp must be the *new* one
+
+    def test_depth_peak_matches_push_semantics(self):
+        queue = RecoveryQueue(retention=100.0, capacity=3)
+        for i in range(10):
+            queue.log(i, i, 100 + i, float(i))
+        assert len(queue) == 3
+        assert queue.depth_peak == 3
+        assert queue.evictions == 7
+
+
+# -- write_span() -------------------------------------------------------------
+
+def make_pair(capacity=8, mapping_backend="flat", profiled=True):
+    """Two identical Insider FTLs: span-writer (optionally profiled) + loop."""
+    def build(obs):
+        nand = NandArray(NandGeometry(channels=1, ways=1, blocks_per_chip=12,
+                                      pages_per_block=8))
+        return InsiderFTL(nand, op_ratio=0.45, retention=5.0,
+                          queue_capacity=capacity, obs=obs,
+                          mapping_backend=mapping_backend)
+
+    obs = Observability(profiler=LayerProfiler()) if profiled else None
+    return build(obs), build(None)
+
+
+def assert_ftl_state_equal(span_ftl, loop_ftl):
+    assert list(span_ftl.mapping.items()) == list(loop_ftl.mapping.items())
+    assert span_ftl.mapping.mapped_count() == loop_ftl.mapping.mapped_count()
+    assert span_ftl.stats.host_writes == loop_ftl.stats.host_writes
+    assert span_ftl.stats.gc_page_copies == loop_ftl.stats.gc_page_copies
+    assert queue_snapshot(span_ftl.queue) == queue_snapshot(loop_ftl.queue)
+    span_ftl.audit_victim_index()
+    loop_ftl.audit_victim_index()
+
+
+class TestWriteSpanEquivalence:
+    @pytest.mark.parametrize("profiled", [True, False])
+    @pytest.mark.parametrize("mapping_backend", ["flat", "dict"])
+    def test_state_matches_per_block_loop(self, profiled, mapping_backend):
+        span_ftl, loop_ftl = make_pair(mapping_backend=mapping_backend,
+                                       profiled=profiled)
+        rng = random.Random(42)
+        num_lbas = span_ftl.mapping.num_lbas
+        timestamp = 0.0
+        for _ in range(120):
+            timestamp += rng.uniform(0.0, 0.5)
+            length = rng.randint(1, 6)
+            lba = rng.randrange(max(1, num_lbas - length))
+            span_ftl.write_span(lba, length, timestamp)
+            for offset in range(length):
+                loop_ftl.write(lba + offset, timestamp)
+        assert_ftl_state_equal(span_ftl, loop_ftl)
+
+    def test_profiled_span_records_batched_layers(self):
+        span_ftl, _ = make_pair(profiled=True)
+        span_ftl.write_span(0, 4, 1.0)
+        span_ftl.write_span(0, 4, 2.0)  # overwrites: queue.update fires
+        profiler = span_ftl.obs.profiler
+        report = build_report(profiler, 1.0)
+        layers = {row["layer"]: row for row in report["layers"]}
+        assert layers["ftl.write"]["calls"] == 2  # one section per request
+        assert layers["ftl.translate"]["calls"] == 8  # one per block
+        assert layers["queue.update"]["calls"] == 8
+
+    def test_out_of_range_span_raises_like_the_loop(self):
+        span_ftl, loop_ftl = make_pair(profiled=True)
+        num_lbas = span_ftl.mapping.num_lbas
+        with pytest.raises(AddressError):
+            span_ftl.write_span(num_lbas - 2, 4, 1.0)
+        with pytest.raises(AddressError):
+            for offset in range(4):
+                loop_ftl.write(num_lbas - 2 + offset, 1.0)
+        # Both stopped at the same block: the two in-range writes landed.
+        assert span_ftl.stats.host_writes == loop_ftl.stats.host_writes == 2
+
+
+# -- LayerProfiler.add() ------------------------------------------------------
+
+def find_node(tree, name):
+    for child in tree["children"]:
+        if child["name"] == name:
+            return child
+        found = find_node(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+class TestProfilerAdd:
+    def test_accumulates_under_open_section(self):
+        profiler = LayerProfiler()
+        before = profiler.events
+        with profiler.section("replay"):
+            with profiler.section("ftl.write"):
+                profiler.add("queue.update", 3_000_000, calls=3)
+                profiler.add("queue.update", 2_000_000)
+        assert profiler.events == before + 2 + 4  # 2 sections + 4 folded
+        report = build_report(profiler, 1.0)
+        node = find_node(report["tree"], "queue.update")
+        assert node is not None
+        assert node["calls"] == 4
+        assert node["inclusive_s"] == pytest.approx(0.005)
+        parent = find_node(report["tree"], "ftl.write")
+        assert any(c["name"] == "queue.update" for c in parent["children"])
+
+    def test_top_level_add_lands_under_root(self):
+        profiler = LayerProfiler()
+        profiler.add("standalone", 1_000_000)
+        report = build_report(profiler, 1.0)
+        assert find_node(report["tree"], "standalone")["calls"] == 1
+
+    def test_null_profiler_add_is_noop(self):
+        NullProfiler().add("anything", 123, calls=9)  # must not raise
+
+
+# -- update_unchecked / span_refs --------------------------------------------
+
+class TestUncheckedMappingUpdate:
+    @pytest.mark.parametrize("cls", [MappingTable, DictMappingTable])
+    def test_matches_checked_update(self, cls):
+        checked = cls(32, num_ppas=64)
+        unchecked = cls(32, num_ppas=64)
+        rng = random.Random(5)
+        for ppa in range(40):
+            lba = rng.randrange(32)
+            assert (unchecked.update_unchecked(lba, ppa)
+                    == checked.update(lba, ppa))
+        assert list(checked.items()) == list(unchecked.items())
+        assert checked.mapped_count() == unchecked.mapped_count()
+        for ppa in range(64):
+            assert checked.lba_of(ppa) == unchecked.lba_of(ppa)
+
+    def test_span_refs_exposes_backing_arrays(self):
+        table = MappingTable(16, num_ppas=32)
+        forward, reverse = table.span_refs()
+        # Inline span transition, then fold the delta back.
+        assert forward[3] == UNMAPPED
+        forward[3] = 7
+        reverse[7] = 3
+        table.add_mapped(1)
+        assert table.lookup(3) == 7
+        assert table.lba_of(7) == 3
+        assert table.mapped_count() == 1
+
+    def test_span_refs_absent_without_reverse_map(self):
+        assert MappingTable(16).span_refs() is None

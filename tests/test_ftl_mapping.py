@@ -1,14 +1,20 @@
-"""Mapping table semantics."""
+"""Mapping table semantics — both backends through the same contract."""
 
 import pytest
 
 from repro.errors import AddressError
-from repro.ftl.mapping import MappingTable
+from repro.ftl.mapping import (
+    MAPPING_BACKENDS,
+    UNMAPPED,
+    DictMappingTable,
+    MappingTable,
+    create_mapping_table,
+)
 
 
-@pytest.fixture
-def table() -> MappingTable:
-    return MappingTable(num_lbas=16)
+@pytest.fixture(params=sorted(MAPPING_BACKENDS))
+def table(request):
+    return create_mapping_table(request.param, num_lbas=16)
 
 
 class TestMappingTable:
@@ -51,6 +57,73 @@ class TestMappingTable:
         with pytest.raises(AddressError):
             table.update(-1, 0)
 
+    def test_rejects_negative_ppa(self, table):
+        with pytest.raises(AddressError):
+            table.update(3, -1)
+
     def test_rejects_empty_space(self):
         with pytest.raises(AddressError):
             MappingTable(0)
+        with pytest.raises(AddressError):
+            DictMappingTable(0)
+
+
+class TestReverseMap:
+    @pytest.fixture(params=sorted(MAPPING_BACKENDS))
+    def reversed_table(self, request):
+        return create_mapping_table(request.param, num_lbas=16, num_ppas=64)
+
+    def test_lba_of_tracks_updates(self, reversed_table):
+        reversed_table.update(3, 40)
+        assert reversed_table.lba_of(40) == 3
+        reversed_table.update(3, 41)       # relocation: old PPA released
+        assert reversed_table.lba_of(40) is None
+        assert reversed_table.lba_of(41) == 3
+
+    def test_lba_of_tracks_unmap(self, reversed_table):
+        reversed_table.update(3, 40)
+        reversed_table.unmap(3)
+        assert reversed_table.lba_of(40) is None
+
+    def test_lba_of_unknown_ppa(self, reversed_table):
+        assert reversed_table.lba_of(63) is None
+        assert reversed_table.lba_of(10_000) is None
+
+    def test_lba_of_without_reverse_map_scans(self):
+        table = MappingTable(num_lbas=16)  # no num_ppas: linear fallback
+        table.update(5, 40)
+        assert table.lba_of(40) == 5
+        assert table.lba_of(41) is None
+
+
+class TestTranslateMany:
+    @pytest.mark.parametrize("backend", sorted(MAPPING_BACKENDS))
+    @pytest.mark.parametrize("size", [0, 3, 64])  # below/above vector cutoff
+    def test_matches_lookup(self, backend, size):
+        table = create_mapping_table(backend, num_lbas=128)
+        for lba in range(0, 128, 3):
+            table.update(lba, 1000 + lba)
+        lbas = [(7 * i) % 128 for i in range(size)]
+        got = table.translate_many(lbas)
+        want = [table.lookup(lba) for lba in lbas]
+        assert got == [UNMAPPED if p is None else p for p in want]
+
+    @pytest.mark.parametrize("backend", sorted(MAPPING_BACKENDS))
+    @pytest.mark.parametrize("size", [3, 64])
+    def test_out_of_range_raises(self, backend, size):
+        table = create_mapping_table(backend, num_lbas=128)
+        lbas = list(range(size - 1)) + [128]
+        with pytest.raises(AddressError):
+            table.translate_many(lbas)
+        with pytest.raises(AddressError):
+            table.translate_many([-1] * size)
+
+
+class TestFactory:
+    def test_backend_names_stamped(self):
+        assert create_mapping_table("flat", 8).backend == "flat"
+        assert create_mapping_table("dict", 8).backend == "dict"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(AddressError, match="unknown mapping backend"):
+            create_mapping_table("btree", 8)

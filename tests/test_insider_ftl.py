@@ -43,6 +43,26 @@ class TestBackupLogging:
         ftl.write(2, 20.0)  # far in the future: expires everything old
         assert not ftl.queue.is_pinned(old)
 
+    def test_expire_called_exactly_once_per_logged_backup(self):
+        """Regression: the overwrite hook used to call ``queue.expire``
+        twice per host write (before invalidating the old page and again
+        after pushing the backup).  Both hooks now funnel through one
+        lazy expiry point, so expiry runs exactly once per write/trim."""
+        ftl = make_ftl()
+        calls = []
+
+        def counted(now, _orig=ftl.queue.expire):
+            calls.append(now)
+            return _orig(now)
+
+        ftl.queue.expire = counted
+        for i in range(5):
+            ftl.write(1, float(i))
+        ftl.trim(1, 6.0)
+        assert len(calls) == 6  # 5 writes + 1 trim, one expire each
+        # And the no-op checks never paid an amortized deque scan.
+        assert ftl.queue.expiry_scans == 0
+
 
 class TestRollback:
     def test_restores_overwritten_block(self):

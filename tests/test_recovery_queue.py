@@ -52,7 +52,7 @@ class TestExpiry:
         than a window ago is safe") — it must stay queued and pinned."""
         queue = RecoveryQueue(retention=10.0)
         queue.push(entry(1, 100, 0.0))
-        assert queue.expire(now=10.0) == []
+        assert tuple(queue.expire(now=10.0)) == ()
         assert len(queue) == 1
         assert queue.is_pinned(100)
 
@@ -73,7 +73,48 @@ class TestExpiry:
     def test_expire_nothing(self):
         queue = RecoveryQueue(retention=10.0)
         queue.push(entry(1, 100, 5.0))
-        assert queue.expire(now=6.0) == []
+        assert tuple(queue.expire(now=6.0)) == ()
+
+    def test_expire_nothing_is_allocation_free(self):
+        """The no-op expire returns the shared EMPTY tuple (identity, not
+        just equality) and never counts as an amortized scan."""
+        queue = RecoveryQueue(retention=10.0)
+        queue.push(entry(1, 100, 5.0))
+        assert queue.expire(now=6.0) is RecoveryQueue.EMPTY
+        assert queue.expire(now=15.0) is RecoveryQueue.EMPTY  # boundary
+        assert queue.expiry_scans == 0
+        expired = queue.expire(now=15.0 + 1e-9)
+        assert [e.lba for e in expired] == [1]
+        assert queue.expiry_scans == 1
+        # Empty queue: the guard answers without touching the deque.
+        assert queue.expire(now=1000.0) is RecoveryQueue.EMPTY
+        assert queue.expiry_scans == 1
+        queue.audit()
+
+    def test_head_guard_survives_drain_and_refill(self):
+        """The cached oldest-entry timestamp must track drain()/refill, or
+        lazy expiry would silently stop firing."""
+        queue = RecoveryQueue(retention=10.0)
+        queue.push(entry(1, 100, 0.0))
+        queue.push(entry(2, 101, 5.0))
+        queue.drain(lambda e: e.lba == 1)
+        queue.audit()
+        expired = queue.expire(now=15.0 + 1e-9)
+        assert [e.lba for e in expired] == [2]
+        queue.audit()
+        queue.push(entry(3, 103, 20.0))
+        assert queue.expire(now=25.0) is RecoveryQueue.EMPTY
+        assert len(queue.expire(now=31.0)) == 1
+        queue.audit()
+
+    def test_depth_peak_tracks_high_water_mark(self):
+        queue = RecoveryQueue(retention=10.0)
+        queue.push(entry(1, 100, 0.0))
+        queue.push(entry(2, 101, 1.0))
+        queue.expire(now=11.0)          # cutoff 1.0: drops entry 1 only
+        queue.push(entry(3, 102, 12.0))
+        assert len(queue) == 2
+        assert queue.depth_peak == 2
 
 
 class TestCapacity:
@@ -89,8 +130,12 @@ class TestCapacity:
 
     def test_no_eviction_below_capacity(self):
         queue = RecoveryQueue(capacity=4)
-        assert queue.push(entry(1, 100, 0.0)) == []
+        assert queue.push(entry(1, 100, 0.0)) is RecoveryQueue.EMPTY
         assert queue.evictions == 0
+
+    def test_uncapped_push_is_allocation_free(self):
+        queue = RecoveryQueue()
+        assert queue.push(entry(1, 100, 0.0)) is RecoveryQueue.EMPTY
 
     def test_rejects_zero_capacity(self):
         with pytest.raises(ConfigError):

@@ -220,6 +220,7 @@ class TestIndexMaintenance:
         for lba in range(8):
             ftl.write(lba, 1.5, payload=b"y")
         index = ftl.victim_index
+        ftl.audit_victim_index()  # flush deferred re-files, then corrupt
         filed = next(b for b in range(ftl.nand.num_blocks)
                      if index._bucket_of[b] >= 0)
         bucket = index._bucket_of[filed]
