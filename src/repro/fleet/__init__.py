@@ -41,6 +41,12 @@ from repro.fleet.report import (
     render_report,
     triage_queue,
 )
+from repro.fleet.telemetry import (
+    TelemetryConfig,
+    TelemetrySession,
+    write_prometheus,
+    write_snapshot_json,
+)
 from repro.fleet.worker import classify_verdict, run_device, severity_of
 
 __all__ = [
@@ -50,6 +56,8 @@ __all__ = [
     "FleetRunResult",
     "FleetRunSummary",
     "ScenarioMix",
+    "TelemetryConfig",
+    "TelemetrySession",
     "aggregate_registry",
     "build_report",
     "classify_verdict",
@@ -65,4 +73,6 @@ __all__ = [
     "severity_of",
     "triage_queue",
     "write_fleet_file",
+    "write_prometheus",
+    "write_snapshot_json",
 ]

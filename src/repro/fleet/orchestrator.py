@@ -38,6 +38,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from repro.fleet.plan import FleetPlan
 from repro.fleet.record import write_fleet_file
+from repro.fleet.telemetry import TelemetrySession
 from repro.fleet.worker import pool_init, pool_run, run_device
 
 #: Progress callback: (records_done, records_total, latest_record).
@@ -79,29 +80,47 @@ class FleetRunSummary:
 
 def _iter_records_sequential(
     plan: FleetPlan,
+    telemetry: Optional[TelemetrySession] = None,
 ) -> Iterator[Dict[str, object]]:
-    """In-process execution: specs in index order, one at a time."""
+    """In-process execution: specs in index order, one at a time.
+
+    With a telemetry session, one local emitter (collector-direct sink,
+    no queue) serves the whole run — the same live view the sharded path
+    gets, minus the cross-process hop.
+    """
+    emitter = telemetry.local_emitter() if telemetry is not None else None
     for spec in plan.specs():
-        record, _ = run_device(plan, spec)
+        record, _ = run_device(plan, spec, emitter=emitter)
         yield record
 
 
 def _iter_records_sharded(
-    plan: FleetPlan, shards: int
+    plan: FleetPlan,
+    shards: int,
+    telemetry: Optional[TelemetrySession] = None,
 ) -> Iterator[Dict[str, object]]:
     """Pool execution with an index-ordered reorder buffer.
 
     ``imap_unordered`` streams records back as workers finish them; the
     buffer holds early arrivals until every lower index has been emitted,
     bounding memory to the in-flight window rather than the fleet.
+
+    The telemetry queue (when armed) rides through the pool initializer
+    arguments — the one place a ``multiprocessing.Queue`` may cross the
+    process boundary — and the session's drainer thread folds worker
+    messages into the live view while this generator blocks on results.
     """
     context = multiprocessing.get_context("spawn")
     chunksize = max(1, plan.devices // (shards * 8))
     pending: Dict[int, Dict[str, object]] = {}
     next_index = 0
+    initargs: tuple = (plan.to_dict(),)
+    if telemetry is not None:
+        initargs = (
+            plan.to_dict(), telemetry.config.to_dict(), telemetry.queue,
+        )
     with context.Pool(
-        processes=shards, initializer=pool_init,
-        initargs=(plan.to_dict(),),
+        processes=shards, initializer=pool_init, initargs=initargs,
     ) as pool:
         for record in pool.imap_unordered(
             pool_run, range(plan.devices), chunksize=chunksize
@@ -110,6 +129,12 @@ def _iter_records_sharded(
             while next_index in pending:
                 yield pending.pop(next_index)
                 next_index += 1
+        # Shut down cleanly rather than letting __exit__ terminate():
+        # a worker's last record can reach the result queue while its
+        # telemetry feeder thread still holds buffered messages, and a
+        # SIGTERM there drops them.  Normal exit joins the feeders.
+        pool.close()
+        pool.join()
     while next_index in pending:  # pragma: no cover - drained above
         yield pending.pop(next_index)
         next_index += 1
@@ -120,6 +145,7 @@ def run_fleet(
     shards: int = 1,
     out_path: Optional[Union[str, Path]] = None,
     progress: Optional[ProgressFn] = None,
+    telemetry: Optional[TelemetrySession] = None,
 ) -> "FleetRunResult":
     """Run the whole fleet; returns records (index order) + summary.
 
@@ -133,22 +159,36 @@ def run_fleet(
         out_path: When set, the ``ssd-insider.fleetrec/v1`` fleet file is
             written here (plan header + records in index order).
         progress: Optional callback fired per completed device.
+        telemetry: Optional :class:`~repro.fleet.telemetry.TelemetrySession`
+            arming the live telemetry plane (heartbeats, merged metrics,
+            stall watchdog, fleet timeline).  Purely observational: the
+            records, the fleet file bytes, and the progress stream are
+            identical with or without it.  Sessions are single-use — the
+            orchestrator starts and finishes it around this run.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     started = perf_counter()
     source = (
-        _iter_records_sequential(plan) if shards == 1
-        else _iter_records_sharded(plan, shards)
+        _iter_records_sequential(plan, telemetry) if shards == 1
+        else _iter_records_sharded(plan, shards, telemetry)
     )
+    if telemetry is not None:
+        telemetry.start()
     records: List[Dict[str, object]] = []
     verdicts: Dict[str, int] = {}
-    for record in source:
-        records.append(record)
-        verdict = str(record.get("verdict", "clean"))
-        verdicts[verdict] = verdicts.get(verdict, 0) + 1
-        if progress is not None:
-            progress(len(records), plan.devices, record)
+    try:
+        for record in source:
+            records.append(record)
+            verdict = str(record.get("verdict", "clean"))
+            verdicts[verdict] = verdicts.get(verdict, 0) + 1
+            if telemetry is not None:
+                telemetry.device_done(record)
+            if progress is not None:
+                progress(len(records), plan.devices, record)
+    finally:
+        if telemetry is not None:
+            telemetry.finish()
     summary = FleetRunSummary(
         devices=plan.devices,
         shards=shards,

@@ -1,0 +1,291 @@
+"""Fleet-side wiring for the telemetry plane: config, session, exports.
+
+:mod:`repro.obs.telemetry` supplies the mechanism (emitter, collector,
+watchdog, timeline stitcher); this module wires it into a fleet run:
+
+* :class:`TelemetryConfig` — the picklable knob set shipped to worker
+  processes through the pool initializer, exactly like the plan payload.
+* :class:`TelemetrySession` — owns the collector, the cross-process
+  message queue, and a daemon drainer thread; hands the orchestrator a
+  per-run facade (``local_emitter`` for the in-process path, ``queue``
+  for pool initargs, ``device_done``/``finish`` hooks) plus a periodic
+  ``on_tick`` callback the CLI uses to refresh the live view and write
+  mid-run Prometheus/JSON snapshots.
+* :func:`write_prometheus` / :func:`write_snapshot_json` — atomic
+  single-file exporters (write to a dotfile sibling, then ``os.replace``)
+  so a scraper or ``fleet top --follow`` never reads a torn file.
+
+Determinism: the session only *observes*.  Records flow through the
+orchestrator's reorder buffer untouched, and the telemetry queue carries
+wall-clock-stamped messages that never feed back into records or the
+fleet file — ``tests/test_fleet_telemetry.py`` asserts fleetrec bytes are
+identical with the plane armed or absent, for both shard paths.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import queue as queue_module
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from time import time as wall_time
+from typing import Callable, Dict, Mapping, Optional, Union
+
+from repro.obs.telemetry import (
+    DEFAULT_EMIT_INTERVAL,
+    DEFAULT_STALL_TIMEOUT,
+    FleetCollector,
+    WorkerEmitter,
+)
+
+#: Bounded telemetry queue depth.  Sized for bursts (every worker
+#: finishing at once ships metrics + trace payloads); when it still
+#: fills, workers drop messages (counted) rather than block the replay.
+QUEUE_MAXSIZE = 10_000
+
+#: Callback fired by the drainer thread roughly every ``tick_interval``
+#: wall seconds, with the live collector as its argument.
+TickFn = Callable[[FleetCollector], None]
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """The telemetry knobs, picklable for the pool initializer.
+
+    Attributes:
+        interval: Minimum wall seconds between non-forced worker
+            emissions (phase transitions always emit).
+        stall_timeout: Heartbeat age (wall seconds) past which the
+            collector's watchdog flags a device as stalled.
+        timeline: Arm a bounded per-device event tracer and stitch the
+            rings into one fleet Perfetto timeline.
+        timeline_events: Per-device tracer ring capacity (drop-oldest,
+            so the alarm-bearing tail of each run survives).
+        metrics: Ship per-device registry snapshots for the live merged
+            population view.
+    """
+
+    interval: float = DEFAULT_EMIT_INTERVAL
+    stall_timeout: float = DEFAULT_STALL_TIMEOUT
+    timeline: bool = False
+    timeline_events: int = 512
+    metrics: bool = True
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for shipping through pool initargs."""
+        return {
+            "interval": self.interval,
+            "stall_timeout": self.stall_timeout,
+            "timeline": self.timeline,
+            "timeline_events": self.timeline_events,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TelemetryConfig":
+        """Rebuild from :meth:`to_dict` output (worker side)."""
+        return cls(
+            interval=float(payload.get("interval", DEFAULT_EMIT_INTERVAL)),  # type: ignore[arg-type]
+            stall_timeout=float(
+                payload.get("stall_timeout", DEFAULT_STALL_TIMEOUT)),  # type: ignore[arg-type]
+            timeline=bool(payload.get("timeline", False)),
+            timeline_events=int(payload.get("timeline_events", 512)),  # type: ignore[arg-type]
+            metrics=bool(payload.get("metrics", True)),
+        )
+
+    def build_emitter(self, sink: Callable[[Dict[str, object]], None],
+                      ) -> WorkerEmitter:
+        """A :class:`WorkerEmitter` honouring this config, on ``sink``."""
+        return WorkerEmitter(
+            sink,
+            interval=self.interval,
+            timeline=self.timeline,
+            timeline_events=self.timeline_events,
+            metrics=self.metrics,
+        )
+
+
+class TelemetrySession:
+    """One fleet run's telemetry plane, orchestrator side.
+
+    Owns the :class:`~repro.obs.telemetry.FleetCollector`, the bounded
+    cross-process queue workers ship messages through, and a daemon
+    drainer thread that folds messages into the collector and fires
+    ``on_tick`` periodically (live view refresh, snapshot writers).
+
+    Lifecycle: construct → :meth:`start` → run the fleet (feeding
+    :meth:`device_done` per completed record) → :meth:`finish`.  The
+    orchestrator drives all of it; the CLI only supplies ``on_tick``.
+
+    Args:
+        devices_total: Fleet size.
+        config: The knob set (also shipped to workers).
+        on_tick: Optional periodic callback receiving the collector.
+        tick_interval: Wall seconds between ``on_tick`` firings.
+        clock: Wall clock, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        devices_total: int,
+        config: Optional[TelemetryConfig] = None,
+        on_tick: Optional[TickFn] = None,
+        tick_interval: float = 1.0,
+        clock: Callable[[], float] = wall_time,
+    ) -> None:
+        self.config = config if config is not None else TelemetryConfig()
+        self.collector = FleetCollector(
+            devices_total,
+            stall_timeout=self.config.stall_timeout,
+            clock=clock,
+        )
+        self.on_tick = on_tick
+        self.tick_interval = float(tick_interval)
+        self.clock = clock
+        self._queue: Optional[multiprocessing.Queue] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._last_tick: Optional[float] = None
+        self.finished = False
+
+    # -- worker plumbing ---------------------------------------------------
+
+    @property
+    def queue(self) -> multiprocessing.Queue:
+        """The cross-process message queue (created on first use).
+
+        Built from the ``spawn`` context to match the orchestrator's
+        pool, and bounded so a wedged drainer back-pressures into worker
+        drop counters instead of unbounded parent memory.
+        """
+        if self._queue is None:
+            context = multiprocessing.get_context("spawn")
+            self._queue = context.Queue(maxsize=QUEUE_MAXSIZE)
+        return self._queue
+
+    def local_emitter(self) -> WorkerEmitter:
+        """An emitter for the in-process (``shards=1``) path.
+
+        Its sink is the collector's ``ingest`` directly — no queue, no
+        pickling — so sequential runs get the same live view for free.
+        """
+        return self.config.build_emitter(self.collector.ingest)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the drainer/tick thread (idempotent)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="fleet-telemetry", daemon=True)
+        self._thread.start()
+
+    def _loop(self) -> None:
+        """Drain queue messages and fire periodic ticks until stopped."""
+        while not self._stop.is_set():
+            drained = self._drain_one(timeout=0.1)
+            if not drained and self._queue is None:
+                # Sequential path: no queue to block on, just pace ticks.
+                self._stop.wait(0.05)
+            self._tick_if_due()
+
+    def _drain_one(self, timeout: float) -> bool:
+        """Ingest at most one queued message; True when one arrived."""
+        q = self._queue
+        if q is None:
+            return False
+        try:
+            message = q.get(timeout=timeout)
+        except queue_module.Empty:
+            return False
+        except (OSError, ValueError):  # queue closed mid-shutdown
+            return False
+        self.collector.ingest(message)
+        return True
+
+    def _tick_if_due(self, force: bool = False) -> None:
+        """Fire ``on_tick`` when the tick interval elapsed (or forced)."""
+        if self.on_tick is None:
+            return
+        now = self.clock()
+        if not force and self._last_tick is not None \
+                and now - self._last_tick < self.tick_interval:
+            return
+        self._last_tick = now
+        try:
+            self.on_tick(self.collector)
+        except Exception:  # noqa: BLE001 - a broken view must not kill a run
+            pass
+
+    def device_done(self, record: Mapping[str, object]) -> None:
+        """Orchestrator hook: fold one completed record into the view."""
+        self.collector.record_done(record)
+        self._tick_if_due()
+
+    def finish(self) -> None:
+        """Stop the drainer, drain the queue remainder, final tick."""
+        if self.finished:
+            return
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        # Late messages: a worker's final puts can still be in the queue
+        # feeder pipe when the pool joins, so an instant Empty is not
+        # proof of done — only give up after two consecutive quiet reads.
+        empty_streak = 0
+        while empty_streak < 2:
+            if self._drain_one(timeout=0.2):
+                empty_streak = 0
+            else:
+                empty_streak += 1
+        if self._queue is not None:
+            self._queue.close()
+            self._queue.join_thread()
+            self._queue = None
+        self.finished = True
+        self._tick_if_due(force=True)
+
+
+# -- atomic exporters --------------------------------------------------------
+
+
+def _atomic_write(path: Union[str, Path], data: str) -> None:
+    """Write ``data`` to ``path`` atomically (dotfile + ``os.replace``)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    staging = target.parent / f".{target.name}.tmp"
+    staging.write_text(data, encoding="utf-8")
+    os.replace(staging, target)
+
+
+def write_prometheus(
+    collector: FleetCollector, path: Union[str, Path]
+) -> None:
+    """Export the live fleet registry as a Prometheus textfile.
+
+    Atomic overwrite of one fixed path — the node-exporter textfile
+    collector convention, so a scraper polling mid-run never sees a
+    partial exposition.
+    """
+    _atomic_write(path, collector.fleet_registry().render_prometheus())
+
+
+def write_snapshot_json(
+    collector: FleetCollector,
+    path: Union[str, Path],
+    done: bool = False,
+) -> Dict[str, object]:
+    """Export one ``ssd-insider.fleettop/v1`` snapshot atomically.
+
+    Returns the snapshot document (the CLI renders the same dict it just
+    wrote, so the file and the live view always agree).
+    """
+    snapshot = collector.snapshot(done=done)
+    _atomic_write(path, json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return snapshot

@@ -27,8 +27,9 @@ from typing import Dict, Optional, Tuple
 from repro.fleet.plan import DeviceSpec, FleetPlan, scenario_category
 from repro.fleet.record import FLEETREC_SCHEMA
 from repro.nand.geometry import NandGeometry
-from repro.obs import Observability
+from repro.obs import EventTracer, MetricsRegistry, Observability
 from repro.obs.flightrec import FlightRecorder
+from repro.obs.telemetry import WorkerEmitter
 from repro.ssd.config import SSDConfig
 from repro.ssd.device import SimulatedSSD
 
@@ -82,17 +83,45 @@ def device_geometry(num_lbas: int) -> NandGeometry:
 
 
 def build_device(
-    plan: FleetPlan, flight: bool = False
+    plan: FleetPlan,
+    flight: bool = False,
+    emitter: Optional[WorkerEmitter] = None,
 ) -> SimulatedSSD:
-    """Assemble one fleet device (optionally with the flight recorder).
+    """Assemble one fleet device (optionally instrumented).
 
-    The un-instrumented default is what fleet runs use — observability
-    adds wall-clock samples that have no place in a determinism-gated
-    record.  ``flight=True`` arms the black box for on-demand incident
-    cutting (``fleet triage --cut-incidents``); PR 4's read-only guarantee
-    means the armed replay takes identical decisions.
+    The un-instrumented default is what plain fleet runs use —
+    observability adds wall-clock samples that have no place in a
+    determinism-gated record.  ``flight=True`` arms the black box for
+    on-demand incident cutting (``fleet triage --cut-incidents``);
+    ``emitter`` arms whatever the telemetry plane asked for — a bounded
+    drop-oldest :class:`~repro.obs.tracer.EventTracer` ring for the fleet
+    timeline and/or a :class:`~repro.obs.metrics.MetricsRegistry` to ship
+    live population snapshots from.  Either way PR 4's read-only
+    guarantee holds: the armed replay takes identical decisions, so the
+    device record bytes never change.
     """
-    obs = Observability.on(flight=FlightRecorder()) if flight else None
+    want_tracer = emitter is not None and emitter.timeline
+    want_metrics = emitter is not None and emitter.metrics
+    tracer: Optional[EventTracer] = None
+    if want_tracer:
+        tracer = EventTracer(
+            max_events=emitter.timeline_events,  # type: ignore[union-attr]
+            drop_oldest=True,
+        )
+    elif flight:
+        # Preserve the pre-telemetry flight bundle (full tracer+metrics,
+        # what Observability.on(flight=...) built) so incident bundles
+        # keep their contents.
+        tracer = EventTracer()
+    obs: Optional[Observability] = None
+    if flight or want_tracer or want_metrics:
+        obs = Observability(
+            tracer=tracer,
+            metrics=(
+                MetricsRegistry() if (want_metrics or flight) else None
+            ),
+            flightrec=FlightRecorder() if flight else None,
+        )
     return SimulatedSSD(
         SSDConfig(
             geometry=device_geometry(plan.num_lbas),
@@ -123,19 +152,32 @@ def run_device(
     plan: FleetPlan,
     spec: DeviceSpec,
     flight: bool = False,
+    emitter: Optional[WorkerEmitter] = None,
 ) -> Tuple[Dict[str, object], Optional[Dict[str, object]]]:
     """Run one device; returns ``(record, incident_bundle_or_None)``.
 
     The record is deterministic in ``(plan, spec)``.  An incident bundle
     (``ssd-insider.incident/v1``) is cut only when ``flight=True`` —
     fleet runs keep records compact and re-derive bundles on demand.
+
+    ``emitter`` arms the telemetry plane: phase heartbeats (forced at
+    ``build``/``replay``/``tick``/``done`` transitions, interval-gated
+    inside the replay loop), live registry snapshots, and the bounded
+    event ring shipped at completion.  Telemetry is observational only —
+    the record bytes are the same with or without it — and emitter
+    failures are contained exactly like device failures.
     """
     try:
-        return _run_device_impl(plan, spec, flight)
+        return _run_device_impl(plan, spec, flight, emitter)
     except Exception as exc:  # noqa: BLE001 - containment is the contract
         record = _base_record(plan, spec)
         record["error"] = f"{type(exc).__name__}: {exc}"
         record["verdict"] = classify_verdict(False, False, record["error"])
+        if emitter is not None:
+            # Best-effort terminal heartbeat so the collector sees the
+            # failure immediately, not only when the record lands.
+            emitter.heartbeat(
+                spec.index, spec.device_id, "done", force=True)
         return record, None
 
 
@@ -173,9 +215,14 @@ def _base_record(plan: FleetPlan, spec: DeviceSpec) -> Dict[str, object]:
 
 
 def _run_device_impl(
-    plan: FleetPlan, spec: DeviceSpec, flight: bool
+    plan: FleetPlan,
+    spec: DeviceSpec,
+    flight: bool,
+    emitter: Optional[WorkerEmitter] = None,
 ) -> Tuple[Dict[str, object], Optional[Dict[str, object]]]:
     record = _base_record(plan, spec)
+    if emitter is not None:
+        emitter.heartbeat(spec.index, spec.device_id, "build", force=True)
     scenario = plan.mix.resolve(spec.scenario)
     run = scenario.build(
         seed=spec.seed,
@@ -183,7 +230,7 @@ def _run_device_impl(
         duration=plan.duration,
         include_ransomware=not spec.benign,
     )
-    device = build_device(plan, flight=flight)
+    device = build_device(plan, flight=flight, emitter=emitter)
     if device.fr is not None:
         device.fr.set_context(
             device_id=spec.device_id,
@@ -201,6 +248,11 @@ def _run_device_impl(
     trace = run.trace
     total = len(trace)
     submit_batch = device.submit_batch
+    if emitter is not None:
+        emitter.heartbeat(
+            spec.index, spec.device_id, "replay",
+            sim_time=device.clock.now, replayed=0, total=total, force=True,
+        )
     while replayed < total:
         chunk = trace[replayed:replayed + FLEET_BATCH]
         executed = submit_batch(chunk)
@@ -210,6 +262,16 @@ def _run_device_impl(
             else:
                 blocks_read += request.length
         replayed += executed
+        if emitter is not None and emitter.heartbeat(
+            spec.index, spec.device_id, "replay",
+            sim_time=device.clock.now, replayed=replayed, total=total,
+        ):
+            # Piggyback the registry snapshot on the heartbeat's interval
+            # gate (refresh first so derived gauges are current).
+            if emitter.metrics:
+                device.refresh_obs_metrics()
+                emitter.emit_metrics(
+                    spec.index, spec.device_id, device.obs.metrics)
         if device.alarm_raised:
             # Lockdown: the paper's firmware goes read-only, so the rest
             # of the trace could only be dropped writes.  Stop replaying
@@ -220,6 +282,12 @@ def _run_device_impl(
     # no-op after the first block), so the push-time peak equals the old
     # per-request sampled peak bit for bit.
     queue_peak = device.ftl.queue.depth_peak
+    if emitter is not None:
+        emitter.heartbeat(
+            spec.index, spec.device_id, "tick",
+            sim_time=device.clock.now, replayed=replayed, total=total,
+            force=True,
+        )
     device.tick(plan.duration)
     alarm_event = (
         device.detector.alarm_event if device.detector is not None else None
@@ -255,23 +323,55 @@ def _run_device_impl(
             device.incidents[0] if device.incidents
             else device.snapshot_incident("fleet_triage")
         )
+    if emitter is not None:
+        if emitter.metrics:
+            device.refresh_obs_metrics()
+            emitter.emit_metrics(
+                spec.index, spec.device_id, device.obs.metrics)
+        if emitter.timeline:
+            emitter.emit_trace(
+                spec.index, spec.device_id, device.obs.tracer)
+        emitter.heartbeat(
+            spec.index, spec.device_id, "done",
+            sim_time=device.clock.now, replayed=replayed, total=total,
+            force=True,
+        )
     return record, incident
 
 
 # -- worker-pool plumbing (multiprocessing entry points) --------------------
 
 _POOL_PLAN: Optional[FleetPlan] = None
+_POOL_EMITTER: Optional[WorkerEmitter] = None
 
 
-def pool_init(plan_payload: Dict[str, object]) -> None:
-    """Pool initializer: rebuild the plan once per worker process."""
-    global _POOL_PLAN
+def pool_init(
+    plan_payload: Dict[str, object],
+    telemetry_payload: Optional[Dict[str, object]] = None,
+    telemetry_queue: Optional[object] = None,
+) -> None:
+    """Pool initializer: rebuild the plan (and emitter) per worker.
+
+    The telemetry queue rides through initargs because a
+    ``multiprocessing.Queue`` is only picklable on the child-inheritance
+    path — exactly what pool initializer arguments are.  One emitter per
+    worker process: its interval gate then paces that worker's whole
+    stream of devices, not each device separately.
+    """
+    global _POOL_PLAN, _POOL_EMITTER
     _POOL_PLAN = FleetPlan.from_dict(plan_payload)
+    _POOL_EMITTER = None
+    if telemetry_payload is not None and telemetry_queue is not None:
+        from repro.fleet.telemetry import TelemetryConfig
+
+        config = TelemetryConfig.from_dict(telemetry_payload)
+        _POOL_EMITTER = config.build_emitter(
+            telemetry_queue.put_nowait)  # type: ignore[attr-defined]
 
 
 def pool_run(index: int) -> Dict[str, object]:
     """Pool task: derive and run device ``index`` under the worker plan."""
     assert _POOL_PLAN is not None, "pool_init must run first"
     spec = _POOL_PLAN.device_spec(index)
-    record, _ = run_device(_POOL_PLAN, spec)
+    record, _ = run_device(_POOL_PLAN, spec, emitter=_POOL_EMITTER)
     return record

@@ -452,7 +452,39 @@ def build_parser() -> argparse.ArgumentParser:
                         help="CI mode: tiny trace, still checks equivalence")
     parser.add_argument("--out", default="results/BENCH_hotpath.json",
                         help="output JSON path")
+    parser.add_argument("--archive-dir", metavar="DIR", default=None,
+                        help="directory for the SHA-named trajectory copy "
+                             "(default: a 'trajectory/' sibling of --out)")
+    parser.add_argument("--no-archive", action="store_true",
+                        help="skip the trajectory archive copy")
     return parser
+
+
+def archive_report(
+    report: Dict[str, object],
+    out_path: Path,
+    archive_dir: Optional[str] = None,
+) -> Path:
+    """Drop a SHA-named copy of the report into the trajectory directory.
+
+    The perf history (``benchdiff --trajectory``) only works if every
+    ``bench`` run leaves a stamped report behind, so this runs by default
+    on every invocation.  The name is
+    ``BENCH_<git-sha12>_<config-hash>.json`` — re-running at the same
+    commit with the same config overwrites (latest wins; the trajectory
+    is ordered by ``meta.created_unix``, not by filename), while any
+    config change lands beside it instead of clobbering a different
+    series.  Outside a git checkout the SHA slot reads ``nogit``.
+    """
+    directory = (Path(archive_dir) if archive_dir is not None
+                 else out_path.parent / "trajectory")
+    directory.mkdir(parents=True, exist_ok=True)
+    meta = report.get("meta", {}) or {}
+    sha = str(meta.get("git_sha") or "nogit")[:12]  # type: ignore[union-attr]
+    config_hash = meta.get("config_hash", "noconfig")  # type: ignore[union-attr]
+    path = directory / f"BENCH_{sha}_{config_hash}.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -568,6 +600,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {out_path}")
+    if not args.no_archive:
+        archived = archive_report(report, out_path, args.archive_dir)
+        print(f"archived {archived}")
     return 0
 
 

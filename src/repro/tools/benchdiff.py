@@ -4,6 +4,8 @@ Example::
 
     python -m repro.tools.benchdiff results/BENCH_old.json results/BENCH_new.json
     python -m repro.tools.benchdiff results/           # whole trajectory
+    python -m repro.tools.benchdiff --trajectory       # results/trajectory/
+    python -m repro.tools.benchdiff --trajectory perf/archive/
     python -m repro.tools.benchdiff old.json new.json --threshold 0.2
 
 Two modes:
@@ -66,9 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.tools.benchdiff",
         description="Diff BENCH_*.json reports and flag regressions.",
     )
-    parser.add_argument("inputs", nargs="+",
+    parser.add_argument("inputs", nargs="*",
                         help="two report files, or one directory of "
                              "BENCH_*.json reports")
+    parser.add_argument("--trajectory", nargs="?", metavar="DIR",
+                        const="results/trajectory", default=None,
+                        help="trajectory mode over DIR (default "
+                             "results/trajectory, the archive every "
+                             "'bench' run appends to)")
     parser.add_argument("--threshold", type=float,
                         default=DEFAULT_THRESHOLD,
                         help="relative change in the bad direction that "
@@ -244,7 +251,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Run the diff; returns the exit code."""
     args = build_parser().parse_args(argv)
     try:
-        if len(args.inputs) == 1:
+        if args.trajectory is not None:
+            if args.inputs:
+                print("error: --trajectory takes its directory as an "
+                      "option value, not positional inputs")
+                return 2
+            directory = Path(args.trajectory)
+            if not directory.is_dir():
+                print(f"error: no trajectory directory at {directory} "
+                      f"(every 'bench' run archives there by default)")
+                return 2
+            lines, regressions = diff_trajectory(directory, args.threshold)
+        elif len(args.inputs) == 1:
             directory = Path(args.inputs[0])
             if not directory.is_dir():
                 print("error: a single input must be a directory of "
@@ -256,7 +274,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 Path(args.inputs[0]), Path(args.inputs[1]), args.threshold
             )
         else:
-            print("error: pass two report files or one directory")
+            print("error: pass two report files, one directory, or "
+                  "--trajectory")
             return 2
     except (OSError, ValueError) as exc:
         print(f"error: {exc}")

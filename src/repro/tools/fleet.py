@@ -19,6 +19,15 @@ Example session::
     # record bit-for-bit
     python -m repro.tools.fleet replay results/FLEET.fleetrec --device 7f3
 
+    # run with the telemetry plane armed: live view + scrapeable exports
+    python -m repro.tools.fleet run --devices 500 --shards 8 --seed 7 \\
+        --live --prom-out results/fleet.prom \\
+        --snapshot-out results/fleet_top.json \\
+        --timeline-out results/FLEET_timeline.json
+
+    # watch a run from another terminal
+    python -m repro.tools.fleet top results/fleet_top.json --follow
+
 Exit status: 0 on success; 2 on bad arguments; 5 when ``run --oracle``
 finds a sharded/sequential divergence or ``replay`` finds a record
 mismatch (both indicate a determinism bug worth reporting).
@@ -29,6 +38,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -48,7 +58,20 @@ from repro.fleet.report import (
     render_report,
     triage_queue,
 )
+from repro.fleet.telemetry import (
+    TelemetryConfig,
+    TelemetrySession,
+    write_prometheus,
+    write_snapshot_json,
+)
 from repro.fleet.worker import run_device
+from repro.obs.telemetry import (
+    DEFAULT_EMIT_INTERVAL,
+    DEFAULT_STALL_TIMEOUT,
+    FleetCollector,
+    render_top,
+    stitch_chrome_trace,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -91,6 +114,36 @@ def build_parser() -> argparse.ArgumentParser:
                               "metrics are bit-identical")
     run_cmd.add_argument("--quiet", action="store_true",
                          help="suppress per-device progress")
+    telemetry = run_cmd.add_argument_group(
+        "telemetry plane (docs/observability.md)")
+    telemetry.add_argument("--telemetry", action="store_true",
+                           help="arm the live telemetry plane (heartbeats, "
+                                "merged metrics, stall watchdog); implied "
+                                "by the flags below")
+    telemetry.add_argument("--telemetry-interval", type=float,
+                           default=DEFAULT_EMIT_INTERVAL, metavar="SECONDS",
+                           help="min wall seconds between worker emissions "
+                                f"(default {DEFAULT_EMIT_INTERVAL})")
+    telemetry.add_argument("--stall-timeout", type=float,
+                           default=DEFAULT_STALL_TIMEOUT, metavar="SECONDS",
+                           help="heartbeat age past which the watchdog "
+                                "flags a device as stalled "
+                                f"(default {DEFAULT_STALL_TIMEOUT:.0f})")
+    telemetry.add_argument("--live", action="store_true",
+                           help="render a fleet-top live view to stderr "
+                                "while the run progresses")
+    telemetry.add_argument("--prom-out", metavar="FILE", default=None,
+                           help="Prometheus textfile, atomically rewritten "
+                                "on every tick (node-exporter textfile "
+                                "collector convention)")
+    telemetry.add_argument("--snapshot-out", metavar="FILE", default=None,
+                           help="ssd-insider.fleettop/v1 JSON snapshot, "
+                                "atomically rewritten on every tick "
+                                "(input for 'fleet top --follow')")
+    telemetry.add_argument("--timeline-out", metavar="FILE", default=None,
+                           help="write the stitched multi-device "
+                                "Chrome/Perfetto fleet timeline here "
+                                "after the run")
 
     report_cmd = commands.add_parser(
         "report", help="render population distributions from a fleet file")
@@ -117,6 +170,18 @@ def build_parser() -> argparse.ArgumentParser:
     replay_cmd.add_argument("fleetrec", help="fleet record file")
     replay_cmd.add_argument("--device", required=True, metavar="ID",
                             help="device id (or unique prefix) to replay")
+
+    top_cmd = commands.add_parser(
+        "top", help="render a live fleet view from the snapshot JSON a "
+                    "telemetry-armed run keeps rewriting (--snapshot-out)")
+    top_cmd.add_argument("snapshot", help="ssd-insider.fleettop/v1 JSON "
+                                          "file written by 'run'")
+    top_cmd.add_argument("--follow", action="store_true",
+                         help="keep re-reading and re-rendering until the "
+                              "snapshot reports the run complete")
+    top_cmd.add_argument("--interval", type=float, default=1.0,
+                         metavar="SECONDS",
+                         help="poll interval with --follow (default 1.0)")
     return parser
 
 
@@ -137,6 +202,85 @@ def _registry_fingerprint(records: List[Dict[str, object]]) -> str:
     )
 
 
+def _telemetry_session(
+    args: argparse.Namespace,
+) -> Optional[TelemetrySession]:
+    """Build the run's telemetry session from CLI flags (None when off).
+
+    Any telemetry output flag arms the plane; ``--telemetry`` alone gives
+    heartbeats + watchdog with no exports (useful with ``--live``).
+    """
+    armed = (args.telemetry or args.live or args.prom_out is not None
+             or args.snapshot_out is not None
+             or args.timeline_out is not None)
+    if not armed:
+        return None
+    config = TelemetryConfig(
+        interval=args.telemetry_interval,
+        stall_timeout=args.stall_timeout,
+        timeline=args.timeline_out is not None,
+        metrics=True,
+    )
+    live = args.live and not args.quiet
+
+    def on_tick(collector: FleetCollector) -> None:
+        """Refresh exports (and the live view) from the current state."""
+        if args.prom_out is not None:
+            write_prometheus(collector, args.prom_out)
+        snapshot = None
+        if args.snapshot_out is not None:
+            snapshot = write_snapshot_json(collector, args.snapshot_out)
+        if live:
+            if snapshot is None:
+                snapshot = collector.snapshot()
+            _render_live(snapshot)
+
+    session = TelemetrySession(
+        args.devices,
+        config,
+        on_tick=on_tick,
+        tick_interval=max(0.1, min(1.0, args.telemetry_interval)),
+    )
+    return session
+
+
+def _render_live(snapshot: Dict[str, object]) -> None:
+    """Paint one fleet-top frame on stderr (cleared in-place on a tty)."""
+    text = render_top(snapshot)
+    if sys.stderr.isatty():
+        sys.stderr.write("\x1b[2J\x1b[H" + text + "\n")
+    else:
+        sys.stderr.write(text + "\n\n")
+    sys.stderr.flush()
+
+
+def _finish_telemetry(
+    args: argparse.Namespace, session: TelemetrySession
+) -> None:
+    """Final telemetry exports after the run: snapshot, prom, timeline."""
+    collector = session.collector
+    if args.prom_out is not None:
+        write_prometheus(collector, args.prom_out)
+        print(f"prometheus: {args.prom_out}")
+    if args.snapshot_out is not None:
+        write_snapshot_json(collector, args.snapshot_out, done=True)
+        print(f"snapshot: {args.snapshot_out}")
+    if args.timeline_out is not None:
+        traces = collector.trace_payloads()
+        document = stitch_chrome_trace(traces)
+        path = Path(args.timeline_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        print(f"timeline: {args.timeline_out} "
+              f"({len(traces)} device tracks, "
+              f"{len(document['traceEvents'])} events)")  # type: ignore[arg-type]
+    stalls = collector.stall_flags
+    print(f"telemetry: {collector.heartbeats} heartbeats, "
+          f"{collector.messages} messages"
+          + (f", {len(stalls)} device(s) flagged stalled" if stalls else ""))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     plan = FleetPlan(
         devices=args.devices,
@@ -147,11 +291,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         duration=args.duration,
     )
     plan.validate()
+    session = _telemetry_session(args)
+    # The live view repaints the screen; the one-line \r progress would
+    # fight it for the same terminal.
+    progress = None if (args.quiet or args.live) else _progress
     result = run_fleet(
         plan,
         shards=args.shards,
         out_path=args.out,
-        progress=None if args.quiet else _progress,
+        progress=progress,
+        telemetry=session,
     )
     summary = result.summary
     print(f"fleet: {summary.devices} devices / {summary.shards} shard(s) "
@@ -159,6 +308,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
           f"({summary.devices_per_sec:.1f} devices/s)")
     print(f"verdicts: {dict(sorted(summary.verdicts.items()))}")
     print(f"records: {args.out}")
+    if session is not None:
+        _finish_telemetry(args, session)
     if args.oracle and args.shards > 1:
         reference = run_fleet(plan, shards=1)
         same_records = reference.records == result.records
@@ -261,6 +412,32 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 5
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Render (and optionally follow) a fleettop snapshot file."""
+    path = Path(args.snapshot)
+    while True:
+        try:
+            snapshot = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            print(f"error: no snapshot at {path} — is a run writing "
+                  f"--snapshot-out there?", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: {path} is not valid JSON ({exc})",
+                  file=sys.stderr)
+            return 2
+        if snapshot.get("schema") != "ssd-insider.fleettop/v1":
+            print(f"error: {path} is not a ssd-insider.fleettop/v1 "
+                  f"snapshot", file=sys.stderr)
+            return 2
+        if args.follow and sys.stdout.isatty():
+            sys.stdout.write("\x1b[2J\x1b[H")
+        print(render_top(snapshot))
+        if not args.follow or snapshot.get("done"):
+            return 0
+        time.sleep(max(0.1, args.interval))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the exit code."""
     args = build_parser().parse_args(argv)
@@ -269,6 +446,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "triage": _cmd_triage,
         "replay": _cmd_replay,
+        "top": _cmd_top,
     }
     try:
         return handlers[args.command](args)

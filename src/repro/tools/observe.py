@@ -6,6 +6,11 @@ Example::
     python -m repro.tools.observe --scenario test-ransom-only \\
         --trace-out trace.json --metrics-out metrics.json
 
+    # not a replay: render the merged population registry of a finished
+    # fleet run (ssd-insider.fleetrec/v1) through the same surfaces
+    python -m repro.tools.observe --fleetrec results/FLEET.fleetrec \\
+        --format prometheus --metrics-out fleet_metrics.json
+
 The named Table I scenario (ransomware + background app, merged) is
 replayed through a fully instrumented :class:`~repro.ssd.device.SimulatedSSD`:
 per-request spans, detector slice events with the six feature values, GC
@@ -43,6 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--scenario", default="test-ransom-only",
                         help="catalog scenario name (see --list)")
+    parser.add_argument("--fleetrec", metavar="FILE", default=None,
+                        help="instead of replaying a scenario, read a "
+                             "ssd-insider.fleetrec/v1 fleet file and "
+                             "render its merged population registry "
+                             "(honours --format/--metrics-out/"
+                             "--no-summary)")
     parser.add_argument("--list", action="store_true",
                         help="list the catalog scenario names and exit")
     parser.add_argument("--seed", type=int, default=0)
@@ -73,6 +84,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _cmd_fleetrec(args: argparse.Namespace) -> int:
+    """Render a fleet file's merged registry through the observe surfaces.
+
+    The registry is the deterministic index-order merge the fleet report
+    uses (:func:`repro.fleet.report.aggregate_registry`), so its bytes —
+    and the Prometheus exposition — are identical for any ``--shards``
+    value the fleet ran with.
+    """
+    from repro.fleet.record import read_fleet_file
+    from repro.fleet.report import aggregate_registry
+
+    header, records = read_fleet_file(args.fleetrec)
+    registry = aggregate_registry(records)
+    verdicts: dict = {}
+    for record in records:
+        verdict = str(record.get("verdict", "clean"))
+        verdicts[verdict] = verdicts.get(verdict, 0) + 1
+    print(f"fleet file: {args.fleetrec}")
+    print(f"devices: {len(records)} "
+          f"(plan seed {header.get('seed')}, "
+          f"{header.get('duration')}s per device)")
+    print(f"verdicts: {dict(sorted(verdicts.items()))}")
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(registry.render_json(indent=2))
+        print(f"metrics -> {args.metrics_out}")
+    if not args.no_summary:
+        print()
+        if args.format == "prometheus":
+            print(registry.render_prometheus(), end="")
+        else:
+            print(registry.render_text())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Replay the scenario under observation; returns the exit code."""
     parser = build_parser()
@@ -82,6 +128,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in sorted(catalog):
             print(name)
         return 0
+    if args.fleetrec is not None:
+        return _cmd_fleetrec(args)
     if args.scenario not in catalog:
         parser.error(f"unknown scenario {args.scenario!r} (try --list)")
     obs = Observability.on(max_events=args.max_events,

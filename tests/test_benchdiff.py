@@ -124,6 +124,90 @@ class TestTrajectoryMode:
         assert benchdiff.main([str(tmp_path)]) == 2
 
 
+class TestTrajectoryFlag:
+    """``--trajectory [DIR]``: the archive every bench run appends to."""
+
+    def test_reads_named_directory(self, tmp_path, capsys):
+        write_report(tmp_path / "BENCH_a.json",
+                     make_report(requests_per_sec=1000.0, created=100.0))
+        write_report(tmp_path / "BENCH_b.json",
+                     make_report(requests_per_sec=1010.0, created=200.0))
+        code = benchdiff.main(["--trajectory", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"trajectory of 2 reports in {tmp_path}" in out
+
+    def test_defaults_to_results_trajectory(self, tmp_path, capsys,
+                                            monkeypatch):
+        archive = tmp_path / "results" / "trajectory"
+        archive.mkdir(parents=True)
+        write_report(archive / "BENCH_a.json",
+                     make_report(requests_per_sec=1000.0, created=100.0))
+        write_report(archive / "BENCH_b.json",
+                     make_report(requests_per_sec=1010.0, created=200.0))
+        monkeypatch.chdir(tmp_path)
+        assert benchdiff.main(["--trajectory"]) == 0
+        capsys.readouterr()
+
+    def test_missing_directory_exits_2(self, tmp_path, capsys):
+        code = benchdiff.main(["--trajectory", str(tmp_path / "absent")])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "no trajectory directory" in out
+
+    def test_positional_inputs_rejected_with_flag(self, tmp_path, capsys):
+        report = write_report(tmp_path / "BENCH_a.json", make_report())
+        code = benchdiff.main(["--trajectory", str(tmp_path),
+                               str(report)])
+        capsys.readouterr()
+        assert code == 2
+
+    def test_no_inputs_without_flag_errors(self, capsys):
+        assert benchdiff.main([]) == 2
+        assert "pass two report files" in capsys.readouterr().out
+
+
+class TestBenchArchive:
+    """``bench`` archives a SHA-named trajectory copy of each report."""
+
+    def test_archive_name_carries_sha_and_config_hash(self, tmp_path):
+        from repro.tools.bench import archive_report
+
+        report = make_report()
+        report["meta"]["config_hash"] = "cafe01234567"
+        out = tmp_path / "BENCH_hotpath.json"
+        path = archive_report(report, out)
+        assert path.parent == tmp_path / "trajectory"
+        assert path.name == "BENCH_deadbeef_cafe01234567.json"
+        assert json.loads(path.read_text(encoding="utf-8")) == report
+
+    def test_same_commit_and_config_overwrites(self, tmp_path):
+        from repro.tools.bench import archive_report
+
+        out = tmp_path / "BENCH_hotpath.json"
+        first = archive_report(make_report(requests_per_sec=1.0), out)
+        second = archive_report(make_report(requests_per_sec=2.0), out)
+        assert first == second
+        assert len(list((tmp_path / "trajectory").glob("*.json"))) == 1
+
+    def test_explicit_archive_dir_wins(self, tmp_path):
+        from repro.tools.bench import archive_report
+
+        target = tmp_path / "elsewhere"
+        path = archive_report(make_report(),
+                              tmp_path / "BENCH_hotpath.json",
+                              archive_dir=str(target))
+        assert path.parent == target
+
+    def test_missing_git_sha_degrades_to_nogit(self, tmp_path):
+        from repro.tools.bench import archive_report
+
+        report = make_report()
+        report["meta"]["git_sha"] = None
+        path = archive_report(report, tmp_path / "BENCH_hotpath.json")
+        assert path.name.startswith("BENCH_nogit_")
+
+
 class TestBenchMeta:
     def test_meta_has_provenance_fields(self):
         meta = report_meta({"requests": 10, "seed": 1})

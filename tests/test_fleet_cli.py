@@ -121,6 +121,96 @@ class TestTriage:
         assert bundle["schema"] == "ssd-insider.incident/v1"
 
 
+class TestTelemetryFlags:
+    @pytest.fixture(scope="class")
+    def telemetry_run(self, fleet_file, tmp_path_factory):
+        """One telemetry-armed CLI run over the fixture's exact plan."""
+        root = tmp_path_factory.mktemp("fleettele")
+        out = root / "armed.fleetrec"
+        prom = root / "fleet.prom"
+        snapshot = root / "top.json"
+        timeline = root / "timeline.json"
+        code = fleet.main([
+            "run", "--devices", "8", "--shards", "2", "--seed", "7",
+            "--scenario-mix", "test-ransom-only,test-outlooksync-mole",
+            "--benign-fraction", "0.5", "--num-lbas", "4000",
+            "--duration", "10", "--out", str(out), "--quiet",
+            "--telemetry-interval", "0.05",
+            "--prom-out", str(prom), "--snapshot-out", str(snapshot),
+            "--timeline-out", str(timeline),
+        ])
+        assert code == 0
+        return out, prom, snapshot, timeline
+
+    def test_armed_fleetrec_is_byte_identical(self, fleet_file,
+                                              telemetry_run, capsys):
+        """The CLI-level inertness gate (same plan, telemetry on/off,
+        sharded vs sequential): identical fleet file bytes."""
+        capsys.readouterr()
+        plain_out, _ = fleet_file
+        armed_out = telemetry_run[0]
+        assert armed_out.read_bytes() == plain_out.read_bytes()
+
+    def test_prometheus_textfile_exported(self, telemetry_run, capsys):
+        capsys.readouterr()
+        prom = telemetry_run[1].read_text(encoding="utf-8")
+        assert 'fleet_devices{state="done"} 8' in prom
+        assert "fleet_heartbeats_total" in prom
+
+    def test_snapshot_documents_finished_run(self, telemetry_run, capsys):
+        capsys.readouterr()
+        document = json.loads(
+            telemetry_run[2].read_text(encoding="utf-8"))
+        assert document["schema"] == "ssd-insider.fleettop/v1"
+        assert document["done"] is True
+        assert document["devices"] == {"total": 8, "done": 8,
+                                       "in_flight": 0}
+
+    def test_timeline_has_one_track_per_device(self, telemetry_run,
+                                               capsys):
+        capsys.readouterr()
+        document = json.loads(
+            telemetry_run[3].read_text(encoding="utf-8"))
+        tracks = [e for e in document["traceEvents"]
+                  if e["name"] == "process_name"]
+        assert len(tracks) == 8
+        assert document["otherData"]["clock"] == "sim"
+        assert {e["pid"] for e in tracks} == set(range(1, 9))
+
+
+class TestTop:
+    def test_renders_snapshot(self, tmp_path, capsys):
+        snapshot = {
+            "schema": "ssd-insider.fleettop/v1", "done": True,
+            "devices": {"total": 4, "done": 4, "in_flight": 0},
+            "devices_per_sec": 2.0, "elapsed_s": 2.0,
+            "verdicts": {"clean": 3, "true_alarm": 1},
+            "in_flight": [], "stalled": [], "stall_timeout_s": 30.0,
+        }
+        path = tmp_path / "top.json"
+        path.write_text(json.dumps(snapshot), encoding="utf-8")
+        code = fleet.main(["top", str(path)])
+        rendered = capsys.readouterr().out
+        assert code == 0
+        assert "4/4 devices done" in rendered
+        assert "true_alarm=1" in rendered
+
+    def test_missing_snapshot_exits_2(self, tmp_path, capsys):
+        code = fleet.main(["top", str(tmp_path / "absent.json")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no snapshot" in captured.err
+
+    def test_wrong_schema_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "something-else"}),
+                        encoding="utf-8")
+        code = fleet.main(["top", str(path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "not a ssd-insider.fleettop/v1" in captured.err
+
+
 class TestReplay:
     def test_replay_matches_record_bit_for_bit(self, fleet_file, capsys):
         out, _ = fleet_file

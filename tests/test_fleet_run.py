@@ -145,6 +145,51 @@ class TestVerdicts:
         assert sequential_result.summary.verdicts == counted
 
 
+class TestProgressCallback:
+    """The ``run_fleet(progress=...)`` contract on both execution paths."""
+
+    @staticmethod
+    def _collect(plan, shards):
+        calls = []
+        result = run_fleet(
+            plan, shards=shards,
+            progress=lambda done, total, record: calls.append(
+                (done, total, record)))
+        return calls, result
+
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_fires_exactly_once_per_device_in_index_order(self, shards):
+        plan = small_plan()
+        calls, result = self._collect(plan, shards)
+        assert len(calls) == plan.devices
+        assert [done for done, _, _ in calls] == \
+            list(range(1, plan.devices + 1))
+        assert all(total == plan.devices for _, total, _ in calls)
+        # The record stream is the index-ordered reorder-buffer output,
+        # so callback N carries the record of device index N-1.
+        assert [r["index"] for _, _, r in calls] == \
+            list(range(plan.devices))
+        assert [r for _, _, r in calls] == result.records
+
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_poisoned_devices_still_progress(self, shards):
+        """Error records flow through the callback like any other —
+        a poisoned fleet reports every device exactly once."""
+        plan = small_plan(
+            devices=4,
+            mix=ScenarioMix.parse("test-ransom-only,no-such-scenario"))
+        calls, result = self._collect(plan, shards)
+        assert len(calls) == 4
+        assert [r["index"] for _, _, r in calls] == [0, 1, 2, 3]
+        verdicts = [r["verdict"] for _, _, r in calls]
+        assert "error" in verdicts
+        assert [r for _, _, r in calls] == result.records
+
+    def test_callback_absence_changes_nothing(self, sequential_result):
+        calls, result = self._collect(small_plan(), 1)
+        assert result.records == sequential_result.records
+
+
 class TestFleetReport:
     def test_report_population_numbers(self, sequential_result):
         plan = small_plan()

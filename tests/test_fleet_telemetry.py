@@ -1,0 +1,414 @@
+"""The fleet telemetry plane: emitter, collector, watchdog, inertness.
+
+The load-bearing assertions are the *inertness* ones: a telemetry-armed
+fleet run must emit byte-identical ``ssd-insider.fleetrec/v1`` output on
+both execution paths — the plane observes, it never participates.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet.orchestrator import run_fleet
+from repro.fleet.plan import FleetPlan, ScenarioMix
+from repro.fleet.telemetry import (
+    TelemetryConfig,
+    TelemetrySession,
+    write_prometheus,
+    write_snapshot_json,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import (
+    FLEETTOP_SCHEMA,
+    FleetCollector,
+    WorkerEmitter,
+    render_top,
+    stitch_chrome_trace,
+)
+
+
+def small_plan(**overrides):
+    """A fleet plan sized for test speed."""
+    defaults = dict(devices=6, seed=11, num_lbas=4_000, duration=10.0,
+                    mix=ScenarioMix.parse(
+                        "test-ransom-only,test-outlooksync-mole"))
+    defaults.update(overrides)
+    return FleetPlan(**defaults)
+
+
+class FakeClock:
+    """A hand-advanced wall clock for deterministic telemetry tests."""
+
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# -- worker emitter ----------------------------------------------------------
+
+
+class TestWorkerEmitter:
+    def test_interval_gates_unforced_heartbeats(self):
+        clock, sent = FakeClock(), []
+        emitter = WorkerEmitter(sent.append, interval=0.5, clock=clock)
+        assert emitter.heartbeat(0, "dev0", "replay") is True
+        clock.advance(0.1)
+        assert emitter.heartbeat(0, "dev0", "replay") is False
+        clock.advance(0.5)
+        assert emitter.heartbeat(0, "dev0", "replay") is True
+        assert len(sent) == 2
+
+    def test_forced_heartbeats_always_emit(self):
+        clock, sent = FakeClock(), []
+        emitter = WorkerEmitter(sent.append, interval=60.0, clock=clock)
+        for phase in ("build", "replay", "tick", "done"):
+            assert emitter.heartbeat(0, "dev0", phase, force=True)
+        assert [m["phase"] for m in sent] == \
+            ["build", "replay", "tick", "done"]
+        assert all(m["kind"] == "heartbeat" for m in sent)
+        assert all(m["wall_time"] == clock.now for m in sent)
+
+    def test_sink_failure_is_contained(self):
+        def broken(_message):
+            raise RuntimeError("queue full")
+
+        emitter = WorkerEmitter(broken, clock=FakeClock())
+        assert emitter.heartbeat(0, "dev0", "build", force=True) is False
+        assert emitter.dropped == 1
+        assert emitter.sent == 0
+
+    def test_metrics_payload_is_compact_registry(self):
+        sent = []
+        emitter = WorkerEmitter(sent.append, clock=FakeClock())
+        registry = MetricsRegistry()
+        registry.counter("requests_total", "Requests.").inc(3)
+        assert emitter.emit_metrics(2, "dev2", registry) is True
+        message = sent[0]
+        assert message["kind"] == "metrics"
+        assert message["index"] == 2
+        rebuilt = MetricsRegistry.from_compact(message["registry"])
+        assert rebuilt.to_compact() == registry.to_compact()
+
+    def test_disarmed_channels_send_nothing(self):
+        sent = []
+        emitter = WorkerEmitter(sent.append, timeline=False, metrics=False,
+                                clock=FakeClock())
+        assert emitter.emit_metrics(0, "dev0", MetricsRegistry()) is False
+        from repro.obs.tracer import EventTracer
+        assert emitter.emit_trace(0, "dev0", EventTracer()) is False
+        assert sent == []
+
+
+# -- collector + watchdog ----------------------------------------------------
+
+
+def heartbeat_message(index, phase="replay", sim_time=1.0, replayed=100,
+                      total=400, wall_time=1000.0):
+    """One hand-built heartbeat message in the wire format."""
+    return {
+        "kind": "heartbeat", "index": index, "device_id": f"dev{index}",
+        "phase": phase, "sim_time": sim_time, "replayed": replayed,
+        "total": total, "wall_time": wall_time,
+    }
+
+
+class TestFleetCollector:
+    def test_ingest_tracks_in_flight_devices(self):
+        clock = FakeClock()
+        collector = FleetCollector(4, clock=clock)
+        collector.ingest(heartbeat_message(1, wall_time=clock.now))
+        collector.ingest(heartbeat_message(0, phase="build",
+                                           wall_time=clock.now))
+        rows = collector.in_flight()
+        assert [row["index"] for row in rows] == [0, 1]
+        assert rows[0]["phase"] == "build"
+        assert rows[1]["replayed"] == 100
+        assert collector.heartbeats == 2
+
+    def test_record_done_counts_verdicts(self):
+        collector = FleetCollector(2, clock=FakeClock())
+        collector.record_done({"index": 0, "device_id": "dev0",
+                               "verdict": "clean",
+                               "requests_replayed": 400})
+        collector.record_done({"index": 1, "device_id": "dev1",
+                               "verdict": "true_alarm"})
+        assert collector.devices_done == 2
+        assert collector.verdicts == {"clean": 1, "true_alarm": 1}
+        assert collector.in_flight() == []
+
+    def test_watchdog_flags_artificially_stalled_worker(self):
+        """The acceptance-criteria case: a device whose heartbeats stop
+        is flagged once its silence exceeds the stall timeout."""
+        clock = FakeClock()
+        collector = FleetCollector(3, stall_timeout=10.0, clock=clock)
+        collector.ingest(heartbeat_message(0, wall_time=clock.now))
+        collector.ingest(heartbeat_message(1, wall_time=clock.now))
+        clock.advance(5.0)
+        collector.ingest(heartbeat_message(1, wall_time=clock.now))
+        assert collector.stalled() == []
+        clock.advance(8.0)  # device 0 silent 13s, device 1 silent 8s
+        flagged = collector.stalled()
+        assert [row["index"] for row in flagged] == [0]
+        assert flagged[0]["heartbeat_age"] == pytest.approx(13.0)
+        assert 0 in collector.stall_flags
+
+    def test_watchdog_ignores_done_devices(self):
+        clock = FakeClock()
+        collector = FleetCollector(1, stall_timeout=10.0, clock=clock)
+        collector.ingest(heartbeat_message(0, wall_time=clock.now))
+        collector.record_done({"index": 0, "device_id": "dev0",
+                               "verdict": "clean"})
+        clock.advance(100.0)
+        assert collector.stalled() == []
+
+    def test_stall_flags_are_sticky(self):
+        """A straggler that eventually finishes stays visible."""
+        clock = FakeClock()
+        collector = FleetCollector(1, stall_timeout=10.0, clock=clock)
+        collector.ingest(heartbeat_message(0, wall_time=clock.now))
+        clock.advance(20.0)
+        assert collector.stalled()
+        collector.record_done({"index": 0, "device_id": "dev0",
+                               "verdict": "clean"})
+        assert collector.stalled() == []
+        assert collector.stall_flags == {0: pytest.approx(20.0)}
+        assert collector.snapshot()["stall_flags"] == \
+            {"0": pytest.approx(20.0)}
+
+    def test_merged_registry_merges_latest_worker_snapshots(self):
+        collector = FleetCollector(2, clock=FakeClock())
+        for index, count in ((0, 3), (1, 4)):
+            registry = MetricsRegistry()
+            registry.counter("requests_total", "Requests.").inc(count)
+            collector.ingest({"kind": "metrics", "index": index,
+                              "device_id": f"dev{index}",
+                              "registry": registry.to_compact()})
+        merged = collector.merged_registry()
+        assert merged.get("requests_total").value() == 7.0
+
+    def test_fleet_registry_adds_progress_families(self):
+        clock = FakeClock()
+        collector = FleetCollector(4, clock=clock)
+        collector.ingest(heartbeat_message(2, wall_time=clock.now))
+        collector.record_done({"index": 0, "device_id": "dev0",
+                               "verdict": "clean"})
+        clock.advance(2.0)
+        prometheus = collector.fleet_registry().render_prometheus()
+        assert 'fleet_devices{state="total"} 4' in prometheus
+        assert 'fleet_devices{state="done"} 1' in prometheus
+        assert 'fleet_devices{state="in_flight"} 1' in prometheus
+        assert "fleet_devices_per_sec" in prometheus
+        assert "fleet_heartbeats_total 1" in prometheus
+        assert 'fleet_verdict_devices_total{verdict="clean"} 1' in prometheus
+
+    def test_snapshot_schema_and_rates(self):
+        clock = FakeClock()
+        collector = FleetCollector(4, clock=clock)
+        collector.record_done({"index": 0, "device_id": "dev0",
+                               "verdict": "clean"})
+        clock.advance(2.0)
+        snapshot = collector.snapshot()
+        assert snapshot["schema"] == FLEETTOP_SCHEMA
+        assert snapshot["devices"] == {"total": 4, "done": 1,
+                                       "in_flight": 0}
+        assert snapshot["devices_per_sec"] == pytest.approx(0.5)
+        assert snapshot["done"] is False
+        assert collector.snapshot(done=True)["done"] is True
+        json.dumps(snapshot)  # must be JSON-clean as written
+
+
+class TestRenderTop:
+    def test_header_progress_and_verdicts(self):
+        clock = FakeClock()
+        collector = FleetCollector(4, clock=clock)
+        collector.record_done({"index": 0, "device_id": "dev0",
+                               "verdict": "true_alarm"})
+        collector.ingest(heartbeat_message(1, wall_time=clock.now))
+        clock.advance(1.0)
+        text = render_top(collector.snapshot())
+        assert "1/4 devices done (25%)" in text
+        assert "true_alarm=1" in text
+        assert "dev1" in text and "replay" in text
+        assert "100/400" in text
+
+    def test_stalled_section(self):
+        clock = FakeClock()
+        collector = FleetCollector(2, stall_timeout=5.0, clock=clock)
+        collector.ingest(heartbeat_message(0, wall_time=clock.now))
+        clock.advance(9.0)
+        text = render_top(collector.snapshot())
+        assert "STALLED (> 5.0s without heartbeat)" in text
+        assert "silent 9.0s" in text
+
+    def test_complete_run_banner(self):
+        collector = FleetCollector(0, clock=FakeClock())
+        text = render_top(collector.snapshot(done=True))
+        assert "[run complete]" in text
+        assert "in flight: none" in text
+
+
+# -- the stitched timeline ---------------------------------------------------
+
+
+def trace_payload(device_id, events):
+    """A wire-format trace payload for the stitcher."""
+    return {"device_id": device_id, "events": events, "events_dropped": 0}
+
+
+def span_event(name="ssd.request", sim_ts=2.0, sim_dur=0.5,
+               wall_ts_us=10.0, wall_dur_us=3.0):
+    """One complete-span event row in the wire format."""
+    return {"name": name, "category": "io", "phase": "X",
+            "wall_ts_us": wall_ts_us, "wall_dur_us": wall_dur_us,
+            "sim_ts": sim_ts, "sim_dur": sim_dur, "args": {}}
+
+
+class TestStitchChromeTrace:
+    def test_per_device_process_tracks(self):
+        document = stitch_chrome_trace({
+            0: trace_payload("aaa", [span_event()]),
+            3: trace_payload("bbb", [span_event(sim_ts=4.0)]),
+        })
+        events = document["traceEvents"]
+        names = [(e["name"], e["pid"]) for e in events
+                 if e["name"] == "process_name"]
+        assert names == [("process_name", 1), ("process_name", 4)]
+        meta = [e for e in events if e["name"] == "process_name"]
+        assert meta[0]["args"]["name"] == "device aaa (#0)"
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {span["pid"] for span in spans} == {1, 4}
+
+    def test_sim_clock_drives_axis_wall_rides_in_args(self):
+        document = stitch_chrome_trace(
+            {0: trace_payload("aaa", [span_event()])})
+        span = [e for e in document["traceEvents"] if e["ph"] == "X"][0]
+        assert span["ts"] == pytest.approx(2.0 * 1e6)
+        assert span["dur"] == pytest.approx(0.5 * 1e6)
+        assert span["args"]["wall_ts_us"] == pytest.approx(10.0)
+        assert span["args"]["wall_dur_us"] == pytest.approx(3.0)
+        assert document["otherData"]["clock"] == "sim"
+
+    def test_wall_clock_mode_keeps_single_device_convention(self):
+        document = stitch_chrome_trace(
+            {0: trace_payload("aaa", [span_event()])}, clock="wall")
+        span = [e for e in document["traceEvents"] if e["ph"] == "X"][0]
+        assert span["ts"] == pytest.approx(10.0)
+        assert span["dur"] == pytest.approx(3.0)
+        assert span["args"]["sim_time_s"] == pytest.approx(2.0)
+
+    def test_unknown_clock_rejected(self):
+        with pytest.raises(ValueError):
+            stitch_chrome_trace({}, clock="lunar")
+
+
+# -- the session + exporters -------------------------------------------------
+
+
+class TestTelemetrySession:
+    def test_config_round_trips_for_pool_shipping(self):
+        config = TelemetryConfig(interval=0.25, stall_timeout=7.0,
+                                 timeline=True, timeline_events=64,
+                                 metrics=False)
+        assert TelemetryConfig.from_dict(config.to_dict()) == config
+
+    def test_on_tick_fires_and_finish_is_idempotent(self):
+        ticks = []
+        session = TelemetrySession(
+            2, TelemetryConfig(interval=0.0),
+            on_tick=lambda collector: ticks.append(collector.devices_done),
+            tick_interval=0.0,
+        )
+        session.start()
+        emitter = session.local_emitter()
+        emitter.heartbeat(0, "dev0", "replay", force=True)
+        session.device_done({"index": 0, "device_id": "dev0",
+                             "verdict": "clean"})
+        session.finish()
+        session.finish()
+        assert session.finished
+        assert ticks  # at least the forced final tick
+        assert session.collector.devices_done == 1
+        assert session.collector.heartbeats == 1
+
+    def test_broken_tick_callback_is_contained(self):
+        def explode(_collector):
+            raise RuntimeError("render bug")
+
+        session = TelemetrySession(1, on_tick=explode, tick_interval=0.0)
+        session.device_done({"index": 0, "device_id": "d", "verdict": "clean"})
+        session.finish()  # must not raise
+
+    def test_exporters_write_atomically_parseable_files(self, tmp_path):
+        collector = FleetCollector(2, clock=FakeClock())
+        collector.record_done({"index": 0, "device_id": "dev0",
+                               "verdict": "clean"})
+        prom_path = tmp_path / "fleet.prom"
+        snap_path = tmp_path / "top.json"
+        write_prometheus(collector, prom_path)
+        returned = write_snapshot_json(collector, snap_path, done=True)
+        assert 'fleet_devices{state="done"} 1' in prom_path.read_text()
+        document = json.loads(snap_path.read_text(encoding="utf-8"))
+        assert document["schema"] == FLEETTOP_SCHEMA
+        assert document == returned
+        assert not list(tmp_path.glob(".*.tmp"))  # staging files cleaned
+
+
+# -- inertness: the acceptance gate ------------------------------------------
+
+
+class TestTelemetryInertness:
+    @pytest.fixture(scope="class")
+    def plain_bytes(self, tmp_path_factory):
+        """Reference fleetrec bytes from a telemetry-off run."""
+        path = tmp_path_factory.mktemp("plain") / "fleet.fleetrec"
+        run_fleet(small_plan(), shards=1, out_path=path)
+        return path.read_bytes()
+
+    @pytest.mark.parametrize("shards", [1, 2])
+    def test_armed_fleetrec_bytes_identical(self, shards, tmp_path,
+                                            plain_bytes):
+        """The tentpole gate: heartbeats, metrics shipping, and the
+        timeline tracer change nothing in the emitted fleet file."""
+        session = TelemetrySession(
+            small_plan().devices,
+            TelemetryConfig(interval=0.0, timeline=True, metrics=True),
+        )
+        path = tmp_path / "armed.fleetrec"
+        run_fleet(small_plan(), shards=shards, out_path=path,
+                  telemetry=session)
+        assert path.read_bytes() == plain_bytes
+        # ... and the plane actually observed the run.
+        collector = session.collector
+        assert collector.devices_done == small_plan().devices
+        assert collector.heartbeats > 0
+        assert len(collector.trace_payloads()) == small_plan().devices
+        assert collector.merged_registry().render_prometheus()
+
+    def test_sharded_telemetry_collects_all_terminal_messages(self):
+        """Every pool worker's final metrics + trace payloads survive the
+        shutdown path (the queue-feeder drain race)."""
+        plan = small_plan()
+        session = TelemetrySession(
+            plan.devices,
+            TelemetryConfig(interval=0.0, timeline=True, metrics=True),
+        )
+        run_fleet(plan, shards=2, telemetry=session)
+        assert len(session.collector.trace_payloads()) == plan.devices
+        assert sum(session.collector.verdicts.values()) == plan.devices
+        assert session.collector.devices_done == plan.devices
+
+    def test_error_devices_reach_the_collector(self):
+        """Poisoned devices heartbeat their failure and still land as
+        error verdicts in the live view."""
+        plan = small_plan(devices=3,
+                          mix=ScenarioMix.parse("no-such-scenario"))
+        session = TelemetrySession(3, TelemetryConfig(interval=0.0))
+        result = run_fleet(plan, shards=1, telemetry=session)
+        assert all(r["verdict"] == "error" for r in result.records)
+        assert session.collector.verdicts == {"error": 3}
+        assert session.collector.devices_done == 3

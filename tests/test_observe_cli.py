@@ -46,3 +46,54 @@ class TestObserveCli:
         out = capsys.readouterr().out
         assert code == 0
         assert "dropped" in out
+
+
+class TestObserveFleetrec:
+    """``--fleetrec``: fleet files reach the observe surfaces."""
+
+    @pytest.fixture(scope="class")
+    def fleetrec(self, tmp_path_factory):
+        from repro.fleet.orchestrator import run_fleet
+        from repro.fleet.plan import FleetPlan, ScenarioMix
+
+        path = tmp_path_factory.mktemp("observe") / "fleet.fleetrec"
+        plan = FleetPlan(devices=4, seed=5, num_lbas=4_000, duration=10.0,
+                         mix=ScenarioMix.parse("test-ransom-only"))
+        run_fleet(plan, shards=1, out_path=path)
+        return path
+
+    def test_renders_merged_registry_as_prometheus(self, fleetrec, capsys):
+        code = observe.main(["--fleetrec", str(fleetrec),
+                             "--format", "prometheus"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "devices: 4" in out
+        assert "# TYPE fleet_devices_total counter" in out
+        assert "fleet_requests_total" in out
+
+    def test_exports_registry_json(self, fleetrec, capsys, tmp_path):
+        metrics = tmp_path / "fleet_metrics.json"
+        code = observe.main(["--fleetrec", str(fleetrec),
+                             "--metrics-out", str(metrics),
+                             "--no-summary"])
+        capsys.readouterr()
+        assert code == 0
+        snapshot = json.loads(metrics.read_text(encoding="utf-8"))
+        families = {family["name"] for family in snapshot["families"]}
+        assert "fleet_devices_total" in families
+        assert "fleet_detection_latency_seconds" in families
+
+    def test_merged_registry_matches_report_aggregation(self, fleetrec,
+                                                        capsys):
+        """The CLI's merge is exactly the fleet report's deterministic
+        index-order aggregation — no second code path."""
+        from repro.fleet.record import read_fleet_file
+        from repro.fleet.report import aggregate_registry
+
+        _, records = read_fleet_file(fleetrec)
+        expected = aggregate_registry(records).render_prometheus()
+        code = observe.main(["--fleetrec", str(fleetrec),
+                             "--format", "prometheus"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert expected in out
